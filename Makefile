@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench repro repro-quick examples vet fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full scale.
+repro:
+	$(GO) run ./cmd/pqbench -experiment all
+
+# Same, at a quarter of the per-processor operation count (~seconds).
+repro-quick:
+	$(GO) run ./cmd/pqbench -experiment all -scale 0.25
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scheduler
+	$(GO) run ./examples/router
+	$(GO) run ./examples/paperfig
+	$(GO) run ./examples/hotspots

@@ -1,0 +1,131 @@
+// Command pqbench regenerates the paper's tables and figures on the
+// simulated multiprocessor.
+//
+// Usage:
+//
+//	pqbench -experiment fig7              # one experiment, full scale
+//	pqbench -experiment all -scale 0.25   # everything, quick
+//	pqbench -list                         # show available experiments
+//	pqbench -experiment fig8 -csv out.csv # also dump raw points as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pq/internal/harness"
+	"pq/internal/plot"
+	"pq/internal/simpq"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pqbench", flag.ContinueOnError)
+	var (
+		expID      = fs.String("experiment", "", "experiment id (see -list), or 'all'")
+		scale      = fs.Float64("scale", 1.0, "workload scale in (0,1]: fraction of the full per-processor operation count")
+		csvPath    = fs.String("csv", "", "write raw points as CSV to this file (single experiment only)")
+		list       = fs.Bool("list", false, "list available experiments")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+		contention = fs.String("contention", "", "profile contention for this algorithm instead of running an experiment")
+		doPlot     = fs.Bool("plot", false, "also draw an ASCII chart of each experiment's series")
+		procs      = fs.Int("procs", 256, "processors for -contention")
+		pris       = fs.Int("pris", 16, "priorities for -contention")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-15s %-20s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return nil
+	}
+	if *contention != "" {
+		rep, err := harness.ProfileContention(simpq.Algorithm(*contention), *procs, *pris, *scale)
+		if err != nil {
+			return err
+		}
+		rep.Render(os.Stdout)
+		return nil
+	}
+	if *expID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -experiment (or use -list)")
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1], got %g", *scale)
+	}
+
+	var exps []*harness.Experiment
+	if *expID == "all" {
+		exps = harness.All()
+	} else {
+		e, err := harness.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		exps = []*harness.Experiment{e}
+	}
+
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+		}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.PaperRef, e.Title)
+		pts, err := e.Run(*scale, progress)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		e.Render(os.Stdout, pts)
+		if *doPlot {
+			renderPlot(os.Stdout, pts)
+		}
+		fmt.Printf("(%d points in %.1fs)\n\n", len(pts), time.Since(start).Seconds())
+		if *csvPath != "" && len(exps) == 1 {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			harness.WriteCSV(f, pts)
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderPlot draws the points as an ASCII line chart, one series per
+// algorithm, log-x when the sweep doubles (processor counts, priorities).
+func renderPlot(w io.Writer, pts []harness.Point) {
+	bySeries := map[string][]plot.Point{}
+	var order []string
+	logX := true
+	for _, p := range pts {
+		if _, seen := bySeries[p.Algorithm]; !seen {
+			order = append(order, p.Algorithm)
+		}
+		bySeries[p.Algorithm] = append(bySeries[p.Algorithm], plot.Point{X: p.X, Y: p.Result.MeanAll})
+		if p.X <= 0 {
+			logX = false
+		}
+	}
+	series := make([]plot.Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, plot.Series{Name: name, Points: bySeries[name]})
+	}
+	plot.Render(w, plot.Config{Width: 72, Height: 18, LogX: logX, YLabel: "mean cycles/op"}, series)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -experiment accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-experiment", "fig6", "-scale", "7"}); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	if err := run([]string{"-experiment", "fig6", "-scale", "0"}); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func TestRunTinyExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"-experiment", "fig6", "-scale", "0.01", "-q", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "algorithm,procs") {
+		t.Fatalf("csv missing header: %q", string(b)[:60])
+	}
+	if strings.Count(string(b), "\n") < 10 {
+		t.Fatalf("csv has too few rows:\n%s", b)
+	}
+}
+
+func TestRunContentionProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run([]string{"-contention", "SimpleTree", "-procs", "8", "-pris", "4", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-contention", "NoSuchAlg", "-procs", "8", "-pris", "4", "-scale", "0.05"}); err == nil {
+		t.Fatal("unknown contention algorithm accepted")
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run([]string{"-experiment", "fig6", "-scale", "0.01", "-q", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Command pqnative benchmarks the native (goroutine) priority queue
+// implementations across goroutine counts: throughput and mean latency of
+// the paper's mixed insert/delete-min workload on the real Go runtime.
+//
+// Usage:
+//
+//	pqnative                          # all algorithms, default sweep
+//	pqnative -algs FunnelTree,SimpleLinear -goroutines 1,4,16 -pris 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pq"
+	"pq/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pqnative:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pqnative", flag.ContinueOnError)
+	var (
+		algsFlag = fs.String("algs", "", "comma-separated algorithms (default: all)")
+		gsFlag   = fs.String("goroutines", "1,2,4,8,16,32", "comma-separated goroutine counts")
+		pris     = fs.Int("pris", 16, "number of priorities")
+		ops      = fs.Int("ops", 100_000, "operations per goroutine")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	algs := pq.Algorithms()
+	if *algsFlag != "" {
+		algs = algs[:0]
+		for _, s := range strings.Split(*algsFlag, ",") {
+			algs = append(algs, pq.Algorithm(strings.TrimSpace(s)))
+		}
+	}
+	var gs []int
+	for _, s := range strings.Split(*gsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad goroutine count %q", s)
+		}
+		gs = append(gs, n)
+	}
+
+	fmt.Printf("%-14s %12s %14s %10s %10s %10s\n",
+		"algorithm", "goroutines", "ops/sec", "p50 ns", "p95 ns", "p99 ns")
+	for _, alg := range algs {
+		for _, g := range gs {
+			m, err := measure(alg, g, *pris, *ops)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %12d %14.0f %10.0f %10.0f %10.0f\n",
+				alg, g, m.opsPerSec, m.lat.P50, m.lat.P95, m.lat.P99)
+		}
+	}
+	return nil
+}
+
+type measurement struct {
+	opsPerSec float64
+	lat       stats.Summary
+}
+
+func measure(alg pq.Algorithm, goroutines, pris, ops int) (measurement, error) {
+	q, err := pq.New[int](alg, pris, pq.WithConcurrency(goroutines))
+	if err != nil {
+		return measurement{}, err
+	}
+	perG := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lats := make([]float64, 0, ops)
+			for i := 0; i < ops; i++ {
+				t0 := time.Now()
+				if (i+g)%2 == 0 {
+					q.Insert((i*13+g)%pris, i)
+				} else {
+					q.DeleteMin()
+				}
+				lats = append(lats, float64(time.Since(t0).Nanoseconds()))
+			}
+			perG[g] = lats
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []float64
+	for _, l := range perG {
+		all = append(all, l...)
+	}
+	total := float64(goroutines * ops)
+	return measurement{
+		opsPerSec: total / elapsed.Seconds(),
+		lat:       stats.Summarize(all),
+	}, nil
+}

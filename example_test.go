@@ -1,0 +1,92 @@
+package pq_test
+
+import (
+	"fmt"
+
+	"pq"
+)
+
+func Example() {
+	// An 8-class priority queue; 0 is the most urgent class.
+	q, err := pq.NewFunnelTree[string](8)
+	if err != nil {
+		panic(err)
+	}
+	q.Insert(3, "compact the log")
+	q.Insert(0, "serve the request")
+	q.Insert(5, "rebuild the index")
+
+	for {
+		task, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(task)
+	}
+	// Output:
+	// serve the request
+	// compact the log
+	// rebuild the index
+}
+
+func ExampleNew() {
+	// Pick the algorithm by contention profile: SimpleLinear shines when
+	// contention is low and the priority range is small.
+	q, err := pq.New[int](pq.SimpleLinear, 4)
+	if err != nil {
+		panic(err)
+	}
+	q.Insert(2, 42)
+	v, ok := q.DeleteMin()
+	fmt.Println(v, ok)
+	// Output: 42 true
+}
+
+func ExampleNewCounter() {
+	// A bounded counter never goes below its bound: a return equal to the
+	// bound means the decrement did not happen — a natural try-acquire
+	// semaphore.
+	permits := pq.NewCounter(2, true, 0)
+	for i := 0; i < 3; i++ {
+		if permits.FaD() > 0 {
+			fmt.Println("acquired")
+		} else {
+			fmt.Println("exhausted")
+		}
+	}
+	// Output:
+	// acquired
+	// acquired
+	// exhausted
+}
+
+func ExampleNewStack() {
+	s := pq.NewStack[string]()
+	s.Push("a")
+	s.Push("b")
+	v, _ := s.Pop()
+	fmt.Println(v)
+	// Output: b
+}
+
+func ExampleWithFIFOBins() {
+	// Equal-priority items come out in insertion order with FIFO bins.
+	q, err := pq.New[int](pq.SimpleLinear, 4, pq.WithFIFOBins())
+	if err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 3; i++ {
+		q.Insert(1, i)
+	}
+	for {
+		v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}

@@ -1,0 +1,43 @@
+// Paperfig: reproduce a slice of the paper's Figure 7 through the public
+// simulator package — latency of the four scalable queues on the
+// deterministic ccNUMA machine as concurrency grows.
+//
+// The full-size reproduction of every figure lives in cmd/pqbench; this
+// example shows the programmatic API at a size that runs in seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pq/simulator"
+)
+
+func main() {
+	algs := []simulator.Algorithm{
+		simulator.SimpleLinear, simulator.SimpleTree,
+		simulator.LinearFunnels, simulator.FunnelTree,
+	}
+	procs := []int{2, 8, 32, 128}
+	w := simulator.Workload{OpsPerProc: 30, LocalWork: 50, InsertFraction: 0.5}
+
+	fmt.Println("mean latency (simulated cycles/op), 16 priorities:")
+	fmt.Printf("%-14s", "procs")
+	for _, p := range procs {
+		fmt.Printf("%10d", p)
+	}
+	fmt.Println()
+	for _, alg := range algs {
+		fmt.Printf("%-14s", alg)
+		for _, p := range procs {
+			r, err := simulator.Run(alg, p, 16, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.0f", r.MeanAll)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape (paper Fig. 7): SimpleLinear wins at low P;")
+	fmt.Println("FunnelTree takes over at high P while SimpleTree degrades.")
+}

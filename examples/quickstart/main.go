@@ -1,0 +1,44 @@
+// Quickstart: build a FunnelTree priority queue, hammer it from several
+// goroutines, and drain it in priority order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"pq"
+)
+
+func main() {
+	// A queue with 8 priority classes (0 = most urgent) holding strings.
+	q, err := pq.NewFunnelTree[string](8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Concurrent producers: each inserts jobs at several priorities.
+	var wg sync.WaitGroup
+	for worker := 0; worker < 4; worker++ {
+		worker := worker
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				priority := (worker + i) % q.NumPriorities()
+				q.Insert(priority, fmt.Sprintf("job w%d-%d (pri %d)", worker, i, priority))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain: items come out most-urgent first.
+	fmt.Println("draining in priority order:")
+	for {
+		job, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(" ", job)
+	}
+}

@@ -1,0 +1,3 @@
+module pq
+
+go 1.23

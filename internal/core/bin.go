@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pq/internal/mcs"
+)
+
+// binLike abstracts the two bin disciplines SimpleLinear and SimpleTree
+// can use: the paper's default LIFO bag, or the FIFO alternative it
+// suggests for applications where stack-order unfairness matters
+// (Section 3.2).
+type binLike[V any] interface {
+	insert(e V)
+	empty() bool
+	delete() (V, bool)
+}
+
+// bin is the paper's Figure-1 bag: a locked slice plus an atomic size so
+// the emptiness test stays a single read with no lock. The lock is the
+// MCS queue lock, matching the paper's "list of bins using MCS locks".
+type bin[V any] struct {
+	lock  mcs.Lock
+	size  atomic.Int64
+	items []V
+}
+
+// insert adds e to the bin.
+func (b *bin[V]) insert(e V) {
+	n := b.lock.Acquire()
+	b.items = append(b.items, e)
+	b.size.Store(int64(len(b.items)))
+	b.lock.Release(n)
+}
+
+// empty reports whether the bin currently looks empty (one atomic read).
+func (b *bin[V]) empty() bool { return b.size.Load() == 0 }
+
+// delete removes and returns an unspecified element, or ok=false if the
+// bin is empty.
+func (b *bin[V]) delete() (V, bool) {
+	n := b.lock.Acquire()
+	if len(b.items) == 0 {
+		b.lock.Release(n)
+		var zero V
+		return zero, false
+	}
+	last := len(b.items) - 1
+	e := b.items[last]
+	var zero V
+	b.items[last] = zero
+	b.items = b.items[:last]
+	b.size.Store(int64(last))
+	b.lock.Release(n)
+	return e, true
+}
+
+// fifoBin is the FIFO-discipline alternative bin the paper suggests for
+// applications where the stack bins' unfairness matters (Section 3.2).
+type fifoBin[V any] struct {
+	mu    sync.Mutex
+	size  atomic.Int64
+	items []V
+	head  int
+}
+
+func (b *fifoBin[V]) insert(e V) {
+	b.mu.Lock()
+	b.items = append(b.items, e)
+	b.size.Store(int64(len(b.items) - b.head))
+	b.mu.Unlock()
+}
+
+func (b *fifoBin[V]) empty() bool { return b.size.Load() == 0 }
+
+func (b *fifoBin[V]) delete() (V, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var zero V
+	if b.head == len(b.items) {
+		return zero, false
+	}
+	e := b.items[b.head]
+	b.items[b.head] = zero
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	b.size.Store(int64(len(b.items) - b.head))
+	return e, true
+}

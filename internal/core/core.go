@@ -1,0 +1,106 @@
+// Package core implements, natively on goroutines and atomics, the seven
+// bounded-range concurrent priority queues the paper evaluates: the
+// SingleLock and Hunt-et-al heaps, the skip-list queue, the simple
+// bin-array and counter-tree queues, and the paper's combining-funnel
+// queues LinearFunnels and FunnelTree.
+package core
+
+import (
+	"fmt"
+
+	"pq/internal/funnel"
+)
+
+// Queue is a bounded-range priority queue over values of type V:
+// priorities are integers in [0, NumPriorities()), smaller is more
+// urgent.
+type Queue[V any] interface {
+	// Insert adds v with the given priority. It panics if pri is out of
+	// range (a programming error, like an out-of-range slice index).
+	Insert(pri int, v V)
+	// DeleteMin removes and returns an element with the smallest
+	// priority, or ok=false if the queue appears empty.
+	DeleteMin() (v V, ok bool)
+	// NumPriorities reports the fixed priority range.
+	NumPriorities() int
+}
+
+// Algorithm names a queue implementation.
+type Algorithm string
+
+// The seven algorithms from the paper.
+const (
+	SingleLock    Algorithm = "SingleLock"
+	HuntEtAl      Algorithm = "HuntEtAl"
+	SkipList      Algorithm = "SkipList"
+	SimpleLinear  Algorithm = "SimpleLinear"
+	SimpleTree    Algorithm = "SimpleTree"
+	LinearFunnels Algorithm = "LinearFunnels"
+	FunnelTree    Algorithm = "FunnelTree"
+)
+
+// Algorithms lists every implementation in the paper's order.
+var Algorithms = []Algorithm{
+	SingleLock, HuntEtAl, SkipList, SimpleLinear, SimpleTree, LinearFunnels, FunnelTree,
+}
+
+// Config carries construction options shared by all queues.
+type Config struct {
+	// Priorities is the fixed priority range N; priorities are 0..N-1.
+	Priorities int
+	// Concurrency is the expected number of contending goroutines; it
+	// sizes funnel layers. Zero means runtime.GOMAXPROCS(0).
+	Concurrency int
+	// FunnelParams overrides the funnel tuning for the funnel-based
+	// queues; nil selects funnel.DefaultParams(Concurrency).
+	FunnelParams *funnel.Params
+	// FunnelCutoff is how many tree levels from the root use funnel
+	// counters in FunnelTree; zero selects the paper's default of 4.
+	FunnelCutoff int
+	// FIFOBins selects first-in-first-out delivery for items of equal
+	// priority — the fairness alternative of the paper's Section 3.2.
+	// SimpleLinear and SimpleTree use plain FIFO bins; LinearFunnels and
+	// FunnelTree use the hybrid funnel bin (elimination in the funnel,
+	// FIFO central storage).
+	FIFOBins bool
+}
+
+// New builds the named queue.
+func New[V any](alg Algorithm, cfg Config) (Queue[V], error) {
+	if cfg.Priorities < 1 {
+		return nil, fmt.Errorf("core: Priorities must be >= 1, got %d", cfg.Priorities)
+	}
+	switch alg {
+	case SingleLock:
+		return NewSingleLock[V](cfg), nil
+	case HuntEtAl:
+		return NewHunt[V](cfg), nil
+	case SkipList:
+		return NewSkipList[V](cfg), nil
+	case SimpleLinear:
+		return NewSimpleLinear[V](cfg), nil
+	case SimpleTree:
+		return NewSimpleTree[V](cfg), nil
+	case LinearFunnels:
+		return NewLinearFunnels[V](cfg), nil
+	case FunnelTree:
+		return NewFunnelTree[V](cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+func checkPri(pri, n int) {
+	if pri < 0 || pri >= n {
+		panic(fmt.Sprintf("core: priority %d out of range [0,%d)", pri, n))
+	}
+}
+
+// ceilPow2 returns the smallest power of two >= n (and at least 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,94 @@
+package core
+
+import "pq/internal/funnel"
+
+// DefaultFunnelCutoff is the number of tree levels (from the root) whose
+// counters use combining funnels in FunnelTree, as in the paper ("only
+// for counters at the top four levels of the tree"); deeper counters see
+// far less traffic and use plain atomic counters.
+const DefaultFunnelCutoff = 4
+
+// treeCounter abstracts the two counter kinds FunnelTree mixes.
+type treeCounter interface {
+	FaI() int64
+	BFaD() int64
+}
+
+type funnelTreeCounter struct{ c *funnel.Counter }
+
+func (f funnelTreeCounter) FaI() int64  { return f.c.FaI() }
+func (f funnelTreeCounter) BFaD() int64 { return f.c.FaD() }
+
+// funnelTree is the paper's second new algorithm: the counter tree of
+// SimpleTree with combining-funnel counters in the hottest (top) levels
+// and funnel stacks as leaf bins.
+type funnelTree[V any] struct {
+	npri     int
+	nleaves  int
+	counters []treeCounter // 1-based
+	bins     []*funnel.Stack[V]
+}
+
+// NewFunnelTree builds the funnel-tree queue.
+func NewFunnelTree[V any](cfg Config) Queue[V] {
+	params := funnelParamsFor(cfg)
+	cutoff := cfg.FunnelCutoff
+	if cutoff == 0 {
+		cutoff = DefaultFunnelCutoff
+	}
+	nl := ceilPow2(cfg.Priorities)
+	q := &funnelTree[V]{
+		npri:     cfg.Priorities,
+		nleaves:  nl,
+		counters: make([]treeCounter, nl),
+		bins:     make([]*funnel.Stack[V], nl),
+	}
+	for i := 1; i < nl; i++ {
+		if treeLevel(i) < cutoff {
+			q.counters[i] = funnelTreeCounter{c: funnel.NewCounter(params, 0, true, 0)}
+		} else {
+			q.counters[i] = &atomicCounter{}
+		}
+	}
+	for i := 0; i < nl; i++ {
+		q.bins[i] = newFunnelBin[V](params, cfg.FIFOBins)
+	}
+	return q
+}
+
+// treeLevel returns the level of heap-numbered node i (root = 0).
+func treeLevel(i int) int {
+	l := -1
+	for i > 0 {
+		i /= 2
+		l++
+	}
+	return l
+}
+
+func (q *funnelTree[V]) NumPriorities() int { return q.npri }
+
+func (q *funnelTree[V]) Insert(pri int, v V) {
+	checkPri(pri, q.npri)
+	q.bins[pri].Push(v)
+	n := q.nleaves + pri
+	for n > 1 {
+		parent := n / 2
+		if n == 2*parent {
+			q.counters[parent].FaI()
+		}
+		n = parent
+	}
+}
+
+func (q *funnelTree[V]) DeleteMin() (V, bool) {
+	n := 1
+	for n < q.nleaves {
+		if q.counters[n].BFaD() > 0 {
+			n = 2 * n
+		} else {
+			n = 2*n + 1
+		}
+	}
+	return q.bins[n-q.nleaves].Pop()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func newHunt(t *testing.T, npri int) Queue[uint64] {
+	t.Helper()
+	q, err := New[uint64](HuntEtAl, Config{Priorities: npri})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestHuntGrowsAcrossPages(t *testing.T) {
+	// More items than one node page (256) forces page-table growth while
+	// the heap is live.
+	q := newHunt(t, 8)
+	const items = 3000
+	for i := 0; i < items; i++ {
+		q.Insert(i%8, uint64(i)|1<<40)
+	}
+	n := 0
+	prev := -1
+	for {
+		v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		_ = v
+		n++
+		_ = prev
+	}
+	if n != items {
+		t.Fatalf("drained %d, want %d", n, items)
+	}
+}
+
+func TestHuntConcurrentGrowth(t *testing.T) {
+	// Concurrent inserts racing through page-boundary growth; node
+	// addresses must stay stable under the readers' feet.
+	q := newHunt(t, 16)
+	const goroutines = 8
+	const perG = 600
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q.Insert((i+g)%16, uint64(g)<<32|uint64(i)|1<<50)
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	for {
+		if _, ok := q.DeleteMin(); !ok {
+			break
+		}
+		n++
+	}
+	if n != goroutines*perG {
+		t.Fatalf("drained %d, want %d", n, goroutines*perG)
+	}
+}
+
+func TestHuntAdoptionUnderRace(t *testing.T) {
+	// Deleters constantly adopt in-flight insertions: mixed ops on a tiny
+	// priority range keep the root hot. Multiset exactness must hold.
+	q := newHunt(t, 2)
+	const goroutines = 10
+	const perG = 400
+	var (
+		wg       sync.WaitGroup
+		inserted [goroutines]int
+		removed  [goroutines]int
+	)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					q.Insert(i%2, uint64(g)<<32|uint64(i)|1<<50)
+					inserted[g]++
+				} else if _, ok := q.DeleteMin(); ok {
+					removed[g]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ins, rem := 0, 0
+	for g := 0; g < goroutines; g++ {
+		ins += inserted[g]
+		rem += removed[g]
+	}
+	for {
+		if _, ok := q.DeleteMin(); !ok {
+			break
+		}
+		rem++
+	}
+	if ins != rem {
+		t.Fatalf("inserted %d, recovered %d", ins, rem)
+	}
+}
+
+func TestHuntSequentialStrictOrder(t *testing.T) {
+	// Without concurrency the variant behaves exactly like a binary heap.
+	q := newHunt(t, 64)
+	pris := []int{33, 7, 0, 63, 7, 12, 1, 42, 0}
+	for i, p := range pris {
+		q.Insert(p, uint64(p)<<8|uint64(i))
+	}
+	prev := -1
+	for {
+		v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		got := int(v >> 8)
+		if got < prev {
+			t.Fatalf("out of order: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}

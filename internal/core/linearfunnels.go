@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+
+	"pq/internal/funnel"
+)
+
+func funnelParamsFor(cfg Config) funnel.Params {
+	if cfg.FunnelParams != nil {
+		return *cfg.FunnelParams
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	return funnel.DefaultParams(conc)
+}
+
+// linearFunnels is the paper's first new algorithm: the bin array of
+// SimpleLinear with combining-funnel stacks as bins. The delete-min scan
+// still tests emptiness with one atomic read per bin before paying for a
+// funnel traversal.
+type linearFunnels[V any] struct {
+	bins []*funnel.Stack[V]
+}
+
+// NewLinearFunnels builds the funnel-stack array queue. With
+// Config.FIFOBins it uses the Section 3.2 hybrid: elimination in the
+// funnel, FIFO order in the central storage.
+func NewLinearFunnels[V any](cfg Config) Queue[V] {
+	params := funnelParamsFor(cfg)
+	q := &linearFunnels[V]{bins: make([]*funnel.Stack[V], cfg.Priorities)}
+	for i := range q.bins {
+		q.bins[i] = newFunnelBin[V](params, cfg.FIFOBins)
+	}
+	return q
+}
+
+// newFunnelBin builds one funnel bin with the configured discipline.
+func newFunnelBin[V any](params funnel.Params, fifo bool) *funnel.Stack[V] {
+	if fifo {
+		return funnel.NewFIFOStack[V](params)
+	}
+	return funnel.NewStack[V](params)
+}
+
+func (q *linearFunnels[V]) NumPriorities() int { return len(q.bins) }
+
+func (q *linearFunnels[V]) Insert(pri int, v V) {
+	checkPri(pri, len(q.bins))
+	q.bins[pri].Push(v)
+}
+
+func (q *linearFunnels[V]) DeleteMin() (V, bool) {
+	for _, b := range q.bins {
+		if b.Empty() {
+			continue
+		}
+		if e, ok := b.Pop(); ok {
+			return e, true
+		}
+	}
+	var zero V
+	return zero, false
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pq/internal/funnel"
+)
+
+func TestFunnelCutoffVariants(t *testing.T) {
+	// Every cutoff must produce a correct queue (funnels everywhere, none,
+	// and the default); correctness is cutoff-independent.
+	for _, cutoff := range []int{-1, 1, 4, 100} {
+		cutoff := cutoff
+		q, err := New[int](FunnelTree, Config{Priorities: 32, Concurrency: 4, FunnelCutoff: cutoff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					q.Insert((i+g)%32, i)
+				}
+			}()
+		}
+		wg.Wait()
+		n := 0
+		prev := -1
+		for {
+			v, ok := q.DeleteMin()
+			if !ok {
+				break
+			}
+			_ = v
+			n++
+			_ = prev
+		}
+		if n != 800 {
+			t.Fatalf("cutoff %d: drained %d, want 800", cutoff, n)
+		}
+	}
+}
+
+func TestExplicitFunnelParams(t *testing.T) {
+	params := funnel.Params{Widths: []int{2, 2}, Attempts: 2, Spin: []int{4, 4}, Adaptive: false}
+	for _, alg := range []Algorithm{LinearFunnels, FunnelTree} {
+		q, err := New[int](alg, Config{Priorities: 8, FunnelParams: &params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Insert(3, 9)
+		if v, ok := q.DeleteMin(); !ok || v != 9 {
+			t.Fatalf("%s: DeleteMin = (%d,%v)", alg, v, ok)
+		}
+	}
+}
+
+func TestConcurrencyHintIsOnlyAHint(t *testing.T) {
+	// A wrong concurrency hint must never affect correctness, only
+	// performance: run 16 goroutines against a queue tuned for 2 and vice
+	// versa.
+	for _, conc := range []int{2, 64} {
+		q, err := New[int](FunnelTree, Config{Priorities: 8, Concurrency: conc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 150; i++ {
+					if i%2 == 0 {
+						q.Insert((i+g)%8, i)
+					} else {
+						q.DeleteMin()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for {
+			if _, ok := q.DeleteMin(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func TestBoundedCounterAsSemaphore(t *testing.T) {
+	// The use case the public docs advertise: a try-acquire semaphore.
+	c := funnel.NewCounter(funnel.DefaultParams(4), 3, true, 0)
+	var wg sync.WaitGroup
+	acquired := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.FaD() > 0 {
+				acquired[g] = 1
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, a := range acquired {
+		total += a
+	}
+	if total != 3 {
+		t.Fatalf("%d acquisitions, want exactly 3", total)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("permits left = %d", c.Value())
+	}
+}

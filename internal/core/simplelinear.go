@@ -1,0 +1,47 @@
+package core
+
+// simpleLinear is Figure 2: an array of bins, one per priority; delete-min
+// scans upward from priority zero, testing emptiness with one read before
+// paying for a lock.
+type simpleLinear[V any] struct {
+	bins []binLike[V]
+}
+
+// newBins builds the per-priority bin array with the configured
+// discipline.
+func newBins[V any](n int, fifo bool) []binLike[V] {
+	bins := make([]binLike[V], n)
+	for i := range bins {
+		if fifo {
+			bins[i] = &fifoBin[V]{}
+		} else {
+			bins[i] = &bin[V]{}
+		}
+	}
+	return bins
+}
+
+// NewSimpleLinear builds the bin-array queue.
+func NewSimpleLinear[V any](cfg Config) Queue[V] {
+	return &simpleLinear[V]{bins: newBins[V](cfg.Priorities, cfg.FIFOBins)}
+}
+
+func (q *simpleLinear[V]) NumPriorities() int { return len(q.bins) }
+
+func (q *simpleLinear[V]) Insert(pri int, v V) {
+	checkPri(pri, len(q.bins))
+	q.bins[pri].insert(v)
+}
+
+func (q *simpleLinear[V]) DeleteMin() (V, bool) {
+	for i := range q.bins {
+		if q.bins[i].empty() {
+			continue
+		}
+		if e, ok := q.bins[i].delete(); ok {
+			return e, true
+		}
+	}
+	var zero V
+	return zero, false
+}

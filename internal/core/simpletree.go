@@ -1,0 +1,75 @@
+package core
+
+import "sync/atomic"
+
+// atomicCounter implements the paper's shared counter (fetch-and-increment
+// and bounded fetch-and-decrement) on a hardware atomic word — the
+// "execute these operations in hardware" option of Figure 1.
+type atomicCounter struct {
+	v atomic.Int64
+}
+
+func (c *atomicCounter) FaI() int64 { return c.v.Add(1) - 1 }
+
+// BFaD returns the previous value, decrementing only if it exceeded the
+// bound (zero).
+func (c *atomicCounter) BFaD() int64 {
+	for {
+		old := c.v.Load()
+		if old <= 0 {
+			return old
+		}
+		if c.v.CompareAndSwap(old, old-1) {
+			return old
+		}
+	}
+}
+
+// simpleTree is Figure 3: a complete binary tree whose internal nodes
+// count the items in their left subtrees; bins at the leaves. delete-min
+// descends by bounded decrements; insert fills its bin and ascends,
+// incrementing every counter reached from the left.
+type simpleTree[V any] struct {
+	npri     int
+	nleaves  int
+	counters []atomicCounter // 1-based
+	bins     []binLike[V]
+}
+
+// NewSimpleTree builds the counter-tree queue.
+func NewSimpleTree[V any](cfg Config) Queue[V] {
+	nl := ceilPow2(cfg.Priorities)
+	return &simpleTree[V]{
+		npri:     cfg.Priorities,
+		nleaves:  nl,
+		counters: make([]atomicCounter, nl),
+		bins:     newBins[V](nl, cfg.FIFOBins),
+	}
+}
+
+func (q *simpleTree[V]) NumPriorities() int { return q.npri }
+
+func (q *simpleTree[V]) Insert(pri int, v V) {
+	checkPri(pri, q.npri)
+	q.bins[pri].insert(v)
+	n := q.nleaves + pri
+	for n > 1 {
+		parent := n / 2
+		if n == 2*parent {
+			q.counters[parent].FaI()
+		}
+		n = parent
+	}
+}
+
+func (q *simpleTree[V]) DeleteMin() (V, bool) {
+	n := 1
+	for n < q.nleaves {
+		if q.counters[n].BFaD() > 0 {
+			n = 2 * n
+		} else {
+			n = 2*n + 1
+		}
+	}
+	return q.bins[n-q.nleaves].delete()
+}

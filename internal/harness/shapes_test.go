@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"testing"
+
+	"pq/internal/simpq"
+)
+
+// TestPaperShapesHold pins the paper's headline qualitative results so
+// that calibration or algorithm regressions fail loudly. Scale 0.25 keeps
+// the test in seconds; the asserted margins are loose enough to tolerate
+// workload-scale noise but tight enough to catch a broken mechanism.
+func TestPaperShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 256-processor simulations")
+	}
+	run := func(alg simpq.Algorithm, procs, npri int) float64 {
+		t.Helper()
+		cfg := simpq.DefaultWorkload()
+		cfg.OpsPerProc = scaleOps(cfg.OpsPerProc, 0.25)
+		r, err := simpq.RunWorkload(alg, procs, npri, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MeanAll
+	}
+
+	t.Run("low concurrency favours SimpleLinear", func(t *testing.T) {
+		sl := run(simpq.AlgSimpleLinear, 4, 16)
+		for _, alg := range []simpq.Algorithm{
+			simpq.AlgSingleLock, simpq.AlgHuntEtAl, simpq.AlgSkipList,
+			simpq.AlgSimpleTree, simpq.AlgLinearFunnels, simpq.AlgFunnelTree,
+		} {
+			if got := run(alg, 4, 16); got <= sl {
+				t.Errorf("%s (%.0f) not slower than SimpleLinear (%.0f) at 4 procs", alg, got, sl)
+			}
+		}
+	})
+
+	t.Run("SimpleTree root serializes at scale", func(t *testing.T) {
+		st64, st256 := run(simpq.AlgSimpleTree, 64, 16), run(simpq.AlgSimpleTree, 256, 16)
+		if st256 < 3*st64 {
+			t.Errorf("SimpleTree 64->256 grew only %.0f->%.0f; expected ~linear degradation", st64, st256)
+		}
+	})
+
+	t.Run("FunnelTree wins at 256 processors", func(t *testing.T) {
+		ft := run(simpq.AlgFunnelTree, 256, 16)
+		st := run(simpq.AlgSimpleTree, 256, 16)
+		sl := run(simpq.AlgSimpleLinear, 256, 16)
+		if st < 4*ft {
+			t.Errorf("FunnelTree (%.0f) should beat SimpleTree (%.0f) by >4x at 256", ft, st)
+		}
+		if sl < ft {
+			t.Errorf("FunnelTree (%.0f) should beat SimpleLinear (%.0f) at 256", ft, sl)
+		}
+	})
+
+	t.Run("FunnelTree scales sublinearly", func(t *testing.T) {
+		ft16, ft256 := run(simpq.AlgFunnelTree, 16, 16), run(simpq.AlgFunnelTree, 256, 16)
+		// 16x more processors should cost far less than 16x latency.
+		if ft256 > 5*ft16 {
+			t.Errorf("FunnelTree 16->256 grew %.0f->%.0f; expected a flat-ish curve", ft16, ft256)
+		}
+	})
+
+	t.Run("elimination beats fetch-and-add at balanced mix", func(t *testing.T) {
+		faa, err := simpq.CounterWorkload(256, 15, 0.5, false, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfad, err := simpq.CounterWorkload(256, 15, 0.5, true, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bfad.MeanAll >= faa.MeanAll {
+			t.Errorf("BFaD+elim (%.0f) not faster than FaA (%.0f) at 50/50, 256 procs",
+				bfad.MeanAll, faa.MeanAll)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pq/internal/simpq"
+)
+
+// Stragglers probes a robustness question the paper leaves open: funnel
+// operations wait for combining partners, so how do the queues fare when
+// processors stall unpredictably (preemption, page faults)? Each
+// processor is stalled for 10 remote-access times every few operations,
+// and the experiment compares latency with and without the disturbance.
+func Stragglers() *Experiment {
+	return &Experiment{
+		ID:       "stragglers",
+		Title:    "Latency under periodic processor stalls (16 priorities, 64 processors)",
+		PaperRef: "robustness probe (beyond the paper)",
+		Run: func(scale float64, progress func(string)) ([]Point, error) {
+			base := simpq.DefaultWorkload()
+			base.OpsPerProc = scaleOps(base.OpsPerProc, scale)
+			var pts []Point
+			for _, alg := range fastAlgorithms {
+				progress(string(alg))
+				for _, stallEvery := range []int{0, 8, 2} {
+					cfg := base
+					cfg.StallEvery = stallEvery
+					r, err := simpq.RunWorkload(alg, 64, 16, cfg)
+					if err != nil {
+						return nil, err
+					}
+					// Remove the injected stall itself from the comparison
+					// baseline by reporting plain access latency; the stall
+					// happens outside the measured window.
+					pts = append(pts, Point{
+						Algorithm: string(alg), Procs: 64, Pris: 16,
+						X: float64(stallEvery), Result: r,
+					})
+				}
+			}
+			return pts, nil
+		},
+		Render: func(w io.Writer, pts []Point) {
+			head := []string{"algorithm", "no stalls", "stall every 8 ops", "stall every 2 ops"}
+			var rows [][]string
+			byAlg := map[string]map[float64]float64{}
+			var algOrder []string
+			for _, p := range pts {
+				if byAlg[p.Algorithm] == nil {
+					byAlg[p.Algorithm] = map[float64]float64{}
+					algOrder = append(algOrder, p.Algorithm)
+				}
+				byAlg[p.Algorithm][p.X] = p.Result.MeanAll
+			}
+			for _, alg := range algOrder {
+				m := byAlg[alg]
+				rows = append(rows, []string{
+					alg,
+					fmt.Sprintf("%.0f", m[0]),
+					fmt.Sprintf("%.0f", m[8]),
+					fmt.Sprintf("%.0f", m[2]),
+				})
+			}
+			writeAligned(w, head, rows)
+			fmt.Fprintln(w, "\nfunnel methods wait for combining partners, so stalled peers")
+			fmt.Fprintln(w, "could hurt them disproportionately; adaption is the countermeasure.")
+		},
+	}
+}

@@ -1,0 +1,71 @@
+// Package mcs implements the queue-based spin lock of Mellor-Crummey and
+// Scott (ACM TOCS 1991), the lock the paper uses for its bins and heaps.
+// Each waiter spins on its own queue node, so waiting causes no traffic on
+// the lock word and release hands off in FIFO order with one store.
+//
+// In Go the "processor-local spinning" of the original becomes spinning
+// with runtime.Gosched, which keeps waiters from monopolizing Ps when
+// goroutines outnumber cores.
+package mcs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Lock is an MCS queue lock. The zero value is unlocked and ready to use.
+// Acquire returns a token that must be passed to the matching Release.
+type Lock struct {
+	tail atomic.Pointer[qnode]
+}
+
+type qnode struct {
+	next   atomic.Pointer[qnode]
+	locked atomic.Bool
+}
+
+var qnodePool = sync.Pool{New: func() any { return new(qnode) }}
+
+// Acquire takes the lock, blocking until it is available, and returns the
+// queue-node token for Release.
+func (l *Lock) Acquire() *qnode {
+	n := qnodePool.Get().(*qnode)
+	n.next.Store(nil)
+	n.locked.Store(false)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		n.locked.Store(true)
+		pred.next.Store(n)
+		for n.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+	return n
+}
+
+// Release hands the lock to the next waiter, if any, and recycles the
+// token. The token must be the one returned by the matching Acquire.
+func (l *Lock) Release(n *qnode) {
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			qnodePool.Put(n)
+			return
+		}
+		// A successor is mid-link; wait for it to appear.
+		for next == nil {
+			runtime.Gosched()
+			next = n.next.Load()
+		}
+	}
+	next.locked.Store(false)
+	qnodePool.Put(n)
+}
+
+// Do runs f while holding the lock.
+func (l *Lock) Do(f func()) {
+	n := l.Acquire()
+	f()
+	l.Release(n)
+}

@@ -1,0 +1,76 @@
+package mcs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLockMutualExclusion(t *testing.T) {
+	const goroutines = 8
+	const iters = 2000
+	var (
+		l       Lock
+		counter int
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := l.Acquire()
+				counter++ // unsynchronized on purpose; the lock must protect it
+				l.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestLockDo(t *testing.T) {
+	var (
+		l Lock
+		x int
+	)
+	l.Do(func() { x = 42 })
+	if x != 42 {
+		t.Fatalf("Do did not run the critical section")
+	}
+}
+
+func TestLockSequentialReuse(t *testing.T) {
+	var l Lock
+	for i := 0; i < 100; i++ {
+		n := l.Acquire()
+		l.Release(n)
+	}
+}
+
+func TestLockHandoffUnderContention(t *testing.T) {
+	// Many goroutines hammer the lock; every one must eventually acquire.
+	const goroutines = 32
+	var (
+		l    Lock
+		wg   sync.WaitGroup
+		seen = make([]bool, goroutines)
+	)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := l.Acquire()
+			seen[g] = true
+			l.Release(n)
+		}()
+	}
+	wg.Wait()
+	for g, ok := range seen {
+		if !ok {
+			t.Fatalf("goroutine %d never acquired the lock", g)
+		}
+	}
+}

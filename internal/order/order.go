@@ -1,0 +1,164 @@
+// Package order checks concurrent priority-queue histories against
+// necessary conditions for linearizability. Full linearizability checking
+// of priority queues is intractable in general; this checker verifies a
+// sound subset — any violation it reports is a real one, while some
+// violations may go undetected:
+//
+//  1. Uniqueness: every successful DeleteMin returns a value inserted
+//     exactly once and never returned twice.
+//  2. Precedence: a value cannot be returned by a DeleteMin that finished
+//     before the value's Insert began.
+//  3. Priority: if a DeleteMin D returns priority p, no value with a
+//     strictly smaller priority can have been definitely present for D's
+//     whole window — inserted before D began and not removed by any
+//     DeleteMin that began before D ended.
+//  4. Emptiness: a failed DeleteMin D is a violation if some value was
+//     definitely present for D's whole window.
+//
+// Timestamps must come from a single monotonic source (the simulator's
+// cycle clock, or host time under careful use).
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes history events.
+type Kind uint8
+
+// Event kinds.
+const (
+	Insert Kind = iota + 1
+	DeleteMin
+)
+
+// Op is one completed operation in a history.
+type Op struct {
+	Kind Kind
+	// Pri is the item's priority (for DeleteMin, of the returned item;
+	// ignored for failed deletes).
+	Pri int
+	// Val identifies the item; values must be unique across Inserts.
+	Val uint64
+	// OK is false for a DeleteMin that reported an empty queue.
+	OK bool
+	// Start and End bound the operation's execution interval, Start < End.
+	Start, End int64
+}
+
+// Violation describes a detected inconsistency.
+type Violation struct {
+	// Rule names the violated condition.
+	Rule string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) Error() string { return v.Rule + ": " + v.Detail }
+
+// Check verifies the history and returns all detected violations.
+func Check(history []Op) []Violation {
+	var out []Violation
+
+	inserts := map[uint64]*Op{}
+	removes := map[uint64]*Op{}
+	for i := range history {
+		op := &history[i]
+		if op.Start > op.End {
+			out = append(out, Violation{
+				Rule:   "well-formed",
+				Detail: fmt.Sprintf("operation %+v has Start > End", *op),
+			})
+		}
+		switch op.Kind {
+		case Insert:
+			if prev, dup := inserts[op.Val]; dup {
+				out = append(out, Violation{
+					Rule:   "uniqueness",
+					Detail: fmt.Sprintf("value %#x inserted twice (%+v and %+v)", op.Val, *prev, *op),
+				})
+				continue
+			}
+			inserts[op.Val] = op
+		case DeleteMin:
+			if !op.OK {
+				continue
+			}
+			if prev, dup := removes[op.Val]; dup {
+				out = append(out, Violation{
+					Rule:   "uniqueness",
+					Detail: fmt.Sprintf("value %#x returned twice (%+v and %+v)", op.Val, *prev, *op),
+				})
+				continue
+			}
+			removes[op.Val] = op
+		}
+	}
+
+	// Precedence and alien values.
+	for val, del := range removes {
+		ins, ok := inserts[val]
+		if !ok {
+			out = append(out, Violation{
+				Rule:   "uniqueness",
+				Detail: fmt.Sprintf("value %#x returned but never inserted", val),
+			})
+			continue
+		}
+		if del.End < ins.Start {
+			out = append(out, Violation{
+				Rule: "precedence",
+				Detail: fmt.Sprintf("value %#x returned by a delete ending at %d before its insert began at %d",
+					val, del.End, ins.Start),
+			})
+		}
+	}
+
+	// Priority and emptiness conditions, O(deletes × inserts). "Definitely
+	// present during D" means: insert completed before D started, and no
+	// successful delete of the value began before D ended.
+	deletes := make([]*Op, 0)
+	for i := range history {
+		if history[i].Kind == DeleteMin {
+			deletes = append(deletes, &history[i])
+		}
+	}
+	sort.Slice(deletes, func(i, j int) bool { return deletes[i].Start < deletes[j].Start })
+
+	for _, d := range deletes {
+		limit := 1 << 62 // priority the delete must beat
+		if d.OK {
+			limit = d.Pri
+		}
+		for val, ins := range inserts {
+			if ins.Pri >= limit && d.OK {
+				continue
+			}
+			if ins.End >= d.Start {
+				continue // not definitely present before D
+			}
+			if rem, ok := removes[val]; ok && rem.Start <= d.End && rem != d {
+				continue // may have been taken by an overlapping delete
+			}
+			if d.OK && val == d.Val {
+				continue
+			}
+			if d.OK {
+				out = append(out, Violation{
+					Rule: "priority",
+					Detail: fmt.Sprintf("delete [%d,%d] returned pri %d but value %#x (pri %d) was definitely present",
+						d.Start, d.End, d.Pri, val, ins.Pri),
+				})
+			} else {
+				out = append(out, Violation{
+					Rule: "emptiness",
+					Detail: fmt.Sprintf("delete [%d,%d] reported empty but value %#x (pri %d) was definitely present",
+						d.Start, d.End, val, ins.Pri),
+				})
+			}
+			break // one witness per delete keeps reports readable
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package order
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanSequentialHistory(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 2, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 1, Val: 2, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 1, Val: 2, OK: true, Start: 4, End: 5},
+		{Kind: DeleteMin, Pri: 2, Val: 1, OK: true, Start: 6, End: 7},
+		{Kind: DeleteMin, OK: false, Start: 8, End: 9},
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestDoubleDelivery(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 1, Val: 7, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, Pri: 1, Val: 7, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 1, Val: 7, OK: true, Start: 4, End: 5},
+	}
+	requireRule(t, Check(h), "uniqueness")
+}
+
+func TestAlienValue(t *testing.T) {
+	h := []Op{
+		{Kind: DeleteMin, Pri: 1, Val: 99, OK: true, Start: 0, End: 1},
+	}
+	requireRule(t, Check(h), "uniqueness")
+}
+
+func TestPrecedenceViolation(t *testing.T) {
+	h := []Op{
+		{Kind: DeleteMin, Pri: 1, Val: 5, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 1, Val: 5, OK: true, Start: 10, End: 11},
+	}
+	requireRule(t, Check(h), "precedence")
+}
+
+func TestPriorityViolation(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 5, Val: 2, OK: true, Start: 0, End: 1},
+		// Returns priority 5 while priority 0 sat in the queue untouched.
+		{Kind: DeleteMin, Pri: 5, Val: 2, OK: true, Start: 10, End: 11},
+		{Kind: DeleteMin, Pri: 0, Val: 1, OK: true, Start: 20, End: 21},
+	}
+	requireRule(t, Check(h), "priority")
+}
+
+func TestPriorityToleratesOverlappingRemoval(t *testing.T) {
+	// The smaller item's delete overlaps D, so D returning the larger item
+	// is consistent.
+	h := []Op{
+		{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 5, Val: 2, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, Pri: 5, Val: 2, OK: true, Start: 10, End: 13},
+		{Kind: DeleteMin, Pri: 0, Val: 1, OK: true, Start: 11, End: 12},
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("overlapping removal flagged: %v", vs)
+	}
+}
+
+func TestEmptinessViolation(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 3, Val: 9, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, OK: false, Start: 5, End: 6},
+	}
+	requireRule(t, Check(h), "emptiness")
+}
+
+func TestEmptinessToleratesOverlap(t *testing.T) {
+	// Insert overlaps the failed delete: reporting empty is allowed.
+	h := []Op{
+		{Kind: Insert, Pri: 3, Val: 9, OK: true, Start: 4, End: 7},
+		{Kind: DeleteMin, OK: false, Start: 5, End: 6},
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("overlapping insert flagged: %v", vs)
+	}
+}
+
+func TestEqualPriorityIsFine(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 2, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 2, Val: 2, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, Pri: 2, Val: 2, OK: true, Start: 5, End: 6},
+		{Kind: DeleteMin, Pri: 2, Val: 1, OK: true, Start: 7, End: 8},
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("equal priorities flagged: %v", vs)
+	}
+}
+
+func TestMalformedInterval(t *testing.T) {
+	h := []Op{{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 5, End: 2}}
+	requireRule(t, Check(h), "well-formed")
+}
+
+func requireRule(t *testing.T, vs []Violation, rule string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Rule == rule {
+			if !strings.Contains(v.Error(), rule) {
+				t.Fatalf("Error() missing rule name: %q", v.Error())
+			}
+			return
+		}
+	}
+	t.Fatalf("expected %q violation, got %v", rule, vs)
+}

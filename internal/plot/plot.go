@@ -1,0 +1,141 @@
+// Package plot renders multi-series line charts as terminal text — just
+// enough to eyeball the paper's figures (crossovers, flat-vs-linear
+// growth) without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Config sets the canvas size and axis scaling.
+type Config struct {
+	// Width and Height are the plot area in characters (default 64x20).
+	Width, Height int
+	// LogX selects a logarithmic x axis (natural for processor-count
+	// sweeps that double each step).
+	LogX bool
+	// YLabel names the y axis in the header.
+	YLabel string
+}
+
+// seriesMarks assigns each series a distinct mark character.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws every series onto one chart.
+func Render(w io.Writer, cfg Config, series []Series) {
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // anchor y at zero: latency charts
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p.X
+			if cfg.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmax, -1) || ymax <= ymin {
+		fmt.Fprintln(w, "(nothing to plot)")
+		return
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		if cfg.LogX {
+			x = math.Log2(x)
+		}
+		if xmax == xmin {
+			return 0
+		}
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		// Connect consecutive points with linear interpolation in plot
+		// space so trends read as lines.
+		for i := 0; i < len(pts); i++ {
+			c, r := col(pts[i].X), row(pts[i].Y)
+			grid[r][c] = mark
+			if i == 0 {
+				continue
+			}
+			c0, r0 := col(pts[i-1].X), row(pts[i-1].Y)
+			steps := abs(c-c0) + abs(r-r0)
+			for st := 1; st < steps; st++ {
+				cc := c0 + (c-c0)*st/steps
+				rr := r0 + (r-r0)*st/steps
+				if grid[rr][cc] == ' ' {
+					grid[rr][cc] = '.'
+				}
+			}
+		}
+	}
+
+	if cfg.YLabel != "" {
+		fmt.Fprintf(w, "%s (0..%.0f)\n", cfg.YLabel, ymax)
+	}
+	for _, line := range grid {
+		fmt.Fprintf(w, "| %s\n", string(line))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width+1))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	fmt.Fprintln(w, " ", strings.Join(legend, "   "))
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,50 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Config{Width: 40, Height: 10, YLabel: "cycles"}, []Series{
+		{Name: "a", Points: []Point{{1, 10}, {2, 20}, {4, 40}}},
+		{Name: "b", Points: []Point{{1, 40}, {2, 20}, {4, 10}}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles (0..40)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Fatalf("canvas too small:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Config{Width: 32, Height: 8, LogX: true}, []Series{
+		{Name: "s", Points: []Point{{2, 1}, {4, 2}, {256, 3}}},
+	})
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatalf("no marks:\n%s", sb.String())
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Config{}, nil)
+	if !strings.Contains(sb.String(), "nothing to plot") {
+		t.Fatalf("empty case: %q", sb.String())
+	}
+}
+
+func TestRenderDegenerateY(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Config{}, []Series{{Name: "flat", Points: []Point{{1, 0}, {2, 0}}}})
+	if !strings.Contains(sb.String(), "nothing to plot") {
+		t.Fatalf("flat-at-zero case: %q", sb.String())
+	}
+}

@@ -1,0 +1,56 @@
+// Package refpq is a trivially correct sequential bounded-range priority
+// queue used as the reference model in differential tests: every
+// concurrent implementation, run sequentially, must behave exactly like
+// this one.
+package refpq
+
+// Queue is a sequential bounded-range priority queue with the paper's
+// bag semantics: items of equal priority may come out in any order, but
+// this reference fixes LIFO within a priority (matching the stack bins
+// the paper uses), with an optional FIFO mode.
+type Queue struct {
+	bins [][]uint64
+	fifo bool
+	size int
+}
+
+// New builds a reference queue with npri priorities and LIFO bins.
+func New(npri int) *Queue { return &Queue{bins: make([][]uint64, npri)} }
+
+// NewFIFO builds a reference queue with FIFO bins.
+func NewFIFO(npri int) *Queue {
+	return &Queue{bins: make([][]uint64, npri), fifo: true}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return q.size }
+
+// NumPriorities reports the fixed priority range.
+func (q *Queue) NumPriorities() int { return len(q.bins) }
+
+// Insert adds val at priority pri.
+func (q *Queue) Insert(pri int, val uint64) {
+	q.bins[pri] = append(q.bins[pri], val)
+	q.size++
+}
+
+// DeleteMin removes an element of the smallest non-empty priority.
+func (q *Queue) DeleteMin() (uint64, bool) {
+	for i := range q.bins {
+		n := len(q.bins[i])
+		if n == 0 {
+			continue
+		}
+		var v uint64
+		if q.fifo {
+			v = q.bins[i][0]
+			q.bins[i] = q.bins[i][1:]
+		} else {
+			v = q.bins[i][n-1]
+			q.bins[i] = q.bins[i][:n-1]
+		}
+		q.size--
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,43 @@
+package refpq
+
+import "testing"
+
+func TestLIFOWithinPriority(t *testing.T) {
+	q := New(4)
+	q.Insert(1, 10)
+	q.Insert(1, 11)
+	q.Insert(0, 5)
+	if v, ok := q.DeleteMin(); !ok || v != 5 {
+		t.Fatalf("DeleteMin = (%d,%v)", v, ok)
+	}
+	if v, _ := q.DeleteMin(); v != 11 {
+		t.Fatalf("LIFO order broken: got %d", v)
+	}
+	if v, _ := q.DeleteMin(); v != 10 {
+		t.Fatalf("LIFO order broken: got %d", v)
+	}
+	if _, ok := q.DeleteMin(); ok {
+		t.Fatal("empty queue returned an item")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestFIFOWithinPriority(t *testing.T) {
+	q := NewFIFO(2)
+	q.Insert(0, 1)
+	q.Insert(0, 2)
+	if v, _ := q.DeleteMin(); v != 1 {
+		t.Fatalf("FIFO order broken: got %d", v)
+	}
+	if v, _ := q.DeleteMin(); v != 2 {
+		t.Fatalf("FIFO order broken: got %d", v)
+	}
+}
+
+func TestNumPriorities(t *testing.T) {
+	if got := New(7).NumPriorities(); got != 7 {
+		t.Fatalf("NumPriorities = %d", got)
+	}
+}

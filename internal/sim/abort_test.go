@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAbortReleasesParkedProcs(t *testing.T) {
+	// Some processors livelock, others park forever; when the event limit
+	// trips, Run must return and every processor goroutine must exit
+	// (Run's WaitGroup would hang otherwise and the test would time out).
+	cfg := DefaultConfig(4)
+	cfg.MaxEvents = 500
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(2)
+	_, err = m.Run(func(p *Proc) {
+		if p.ID()%2 == 0 {
+			p.WaitWhile(a, 0) // parks forever
+			return
+		}
+		for {
+			p.Read(a + 1) // burns events
+		}
+	})
+	if err != ErrEventLimit {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+	if parked := m.ParkedProcs(); len(parked) != 2 {
+		t.Fatalf("parked = %d, want 2", len(parked))
+	}
+}
+
+func TestParkedProcsReporting(t *testing.T) {
+	m, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	_, err = m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.WaitWhile(a, 0)
+		}
+	})
+	if err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	parked := m.ParkedProcs()
+	if len(parked) != 1 || parked[0].Proc != 0 || parked[0].Addr != a || parked[0].While != 0 {
+		t.Fatalf("parked = %+v", parked)
+	}
+}
+
+func TestEventHeapQuickOrdering(t *testing.T) {
+	// Property: popping the heap yields events in nondecreasing
+	// (time, seq) order regardless of push order.
+	f := func(times []int64) bool {
+		var h eventHeap
+		for i, tm := range times {
+			if tm < 0 {
+				tm = -tm
+			}
+			h.push(event{time: tm % 1000, seq: uint64(i)})
+		}
+		var prevT int64 = -1
+		var prevS uint64
+		for h.len() > 0 {
+			e := h.pop()
+			if e.time < prevT || (e.time == prevT && e.seq < prevS) {
+				return false
+			}
+			prevT, prevS = e.time, e.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitWhileManyWaitersSerializeOnWake(t *testing.T) {
+	// A thundering herd of waiters must all wake, with wake re-fetches
+	// serialized on the word's occupancy.
+	const procs = 10
+	m, err := New(DefaultConfig(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	woke := make([]int64, procs)
+	_, err = m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.LocalWork(500)
+			p.Write(a, 7)
+			return
+		}
+		p.WaitWhile(a, 0)
+		woke[p.ID()] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for i := 1; i < procs; i++ {
+		if woke[i] == 0 {
+			t.Fatalf("proc %d never woke", i)
+		}
+		if seen[woke[i]] {
+			t.Errorf("two waiters woke at the same cycle %d (no serialization)", woke[i])
+		}
+		seen[woke[i]] = true
+	}
+}

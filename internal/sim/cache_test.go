@@ -1,0 +1,131 @@
+package sim
+
+import "testing"
+
+func TestOwnedWriteIsLocal(t *testing.T) {
+	m, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	var first, second int64
+	_, err = m.Run(func(p *Proc) {
+		t0 := p.Now()
+		p.Write(a, 1) // nobody caches it: remote
+		first = p.Now() - t0
+		t1 := p.Now()
+		p.Write(a, 2) // exclusive owner: local
+		second = p.Now() - t1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != DefaultRemoteCost {
+		t.Errorf("first write cost = %d, want remote %d", first, DefaultRemoteCost)
+	}
+	if second != DefaultLocalCost {
+		t.Errorf("owned write cost = %d, want local %d", second, DefaultLocalCost)
+	}
+}
+
+func TestWriteToSharedLineIsRemote(t *testing.T) {
+	m, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	flag := m.Alloc(1)
+	var cost int64
+	_, err = m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Write(a, 1)        // own it
+			p.Write(flag, 1)     // signal
+			p.WaitWhile(flag, 1) // wait for reader
+			t0 := p.Now()
+			p.Write(a, 2) // line now shared with proc 1: must go remote
+			cost = p.Now() - t0
+		case 1:
+			p.WaitWhile(flag, 0)
+			p.Read(a) // become a sharer
+			p.Write(flag, 2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != DefaultRemoteCost {
+		t.Errorf("write to shared line cost = %d, want remote %d", cost, DefaultRemoteCost)
+	}
+}
+
+func TestSharedReadBypassesModuleOccupancy(t *testing.T) {
+	// One processor owns the value; many others read-miss it at once.
+	// Cache-to-cache service means their misses do not serialize on the
+	// home module, so all finish at the same cycle.
+	const procs = 8
+	m, err := New(DefaultConfig(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	flag := m.Alloc(1)
+	times := make([]int64, procs)
+	_, err = m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Write(a, 42)
+			p.Read(a) // ensure a sharer exists
+			p.Write(flag, 1)
+			return
+		}
+		p.WaitWhile(flag, 0)
+		t0 := p.Now()
+		p.Read(a)
+		times[p.ID()] = p.Now() - t0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < procs; i++ {
+		if times[i] != DefaultRemoteCost {
+			t.Errorf("proc %d shared-read cost = %d, want %d (no occupancy queueing)",
+				i, times[i], DefaultRemoteCost)
+		}
+	}
+}
+
+func TestUnsharedReadsQueueOnModule(t *testing.T) {
+	// Reads of fresh (never-cached) words still pay module occupancy when
+	// they collide — but here each processor reads a distinct word, so no
+	// queueing.
+	const procs = 4
+	m, err := New(DefaultConfig(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	m.SetWord(a, 9)
+	finish := make([]int64, procs)
+	_, err = m.Run(func(p *Proc) {
+		p.Read(a)
+		finish[p.ID()] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First reader pays module occupancy; once a sharer exists, the rest
+	// are cache-to-cache at flat remote latency. So the spread is at most
+	// one occupancy.
+	var min, max int64 = 1 << 62, 0
+	for _, f := range finish {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if max-min > DefaultOccupancy {
+		t.Errorf("read finish spread = %d, want <= %d", max-min, DefaultOccupancy)
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+// event is a scheduled resumption of a processor at a simulated time. val
+// carries the result of the memory operation the processor is blocked on.
+type event struct {
+	time int64
+	seq  uint64
+	proc int32
+	val  uint64
+}
+
+// eventHeap is a binary min-heap of events ordered by (time, seq). seq is a
+// strictly increasing tag assigned at push time, which makes the pop order
+// deterministic for simultaneous events.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].time != h.a[j].time {
+		return h.a[i].time < h.a[j].time
+	}
+	return h.a[i].seq < h.a[j].seq
+}

@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// word is one word of simulated shared memory.
+type word struct {
+	val uint64
+	// busyUntil is the cycle at which the word's home module finishes the
+	// access it is currently serving; later accesses queue behind it.
+	busyUntil int64
+	// sharers is a bitmap of processors holding a valid cached copy.
+	sharers [MaxProcs / 64]uint64
+	// waiters are processors parked on this word by WaitWhile.
+	waiters []waiter
+}
+
+type waiter struct {
+	proc  int32
+	while uint64
+	since int64
+}
+
+// pageWords is the granularity of lazy page allocation for simulated
+// memory: pages materialize on first touch, so large address spaces (bin
+// arrays sized for worst-case occupancy) cost host memory only for words
+// actually used.
+const pageWords = 1 << 12
+
+// Machine is a simulated multiprocessor. Construct it with New, allocate
+// shared memory with Alloc and initialize it with SetWord, then call Run
+// with the program every processor executes.
+type Machine struct {
+	cfg    Config
+	pages  [][]word
+	nalloc int
+
+	evq     eventHeap
+	seq     uint64
+	now     int64
+	procs   []*Proc
+	events  int64
+	stop    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+	ran     bool
+
+	// profiling state (nil unless Config.Profile)
+	profile map[Addr]*wordStats
+	labels  []label
+
+	procEvents []int64
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		pages: make([][]word, (cfg.MemoryWords+pageWords-1)/pageWords),
+		stop:  make(chan struct{}),
+	}
+	if cfg.Profile {
+		m.profile = make(map[Addr]*wordStats)
+	}
+	m.procs = make([]*Proc, cfg.Procs)
+	m.procEvents = make([]int64, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = newProc(m, i, cfg.Seed)
+	}
+	return m, nil
+}
+
+// Procs returns the number of processors.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Alloc reserves n contiguous zeroed words of shared memory and returns the
+// address of the first. It panics if the configured memory is exhausted,
+// which indicates a misconfigured MemoryWords, not a runtime condition.
+func (m *Machine) Alloc(n int) Addr {
+	if n < 0 || m.nalloc+n > m.cfg.MemoryWords {
+		panic(fmt.Sprintf("sim: out of simulated memory (have %d words, want %d more)", m.cfg.MemoryWords, n))
+	}
+	a := Addr(m.nalloc)
+	m.nalloc += n
+	return a
+}
+
+// word returns the backing storage for address a, materializing its page
+// on first touch.
+func (m *Machine) word(a Addr) *word {
+	pg := m.pages[a/pageWords]
+	if pg == nil {
+		pg = make([]word, pageWords)
+		m.pages[a/pageWords] = pg
+	}
+	return &pg[a%pageWords]
+}
+
+// SetWord initializes a word before (or inspects state between) runs. It
+// charges no simulated cost and must not be called while Run is executing.
+func (m *Machine) SetWord(a Addr, v uint64) { m.word(a).val = v }
+
+// Word returns the current value of a word without charging simulated cost.
+// Intended for initialization and post-run verification.
+func (m *Machine) Word(a Addr) uint64 { return m.word(a).val }
+
+// Parked describes a processor blocked in WaitWhile, for post-mortem
+// diagnostics after a deadlocked run.
+type Parked struct {
+	Proc  int
+	Addr  Addr
+	While uint64
+}
+
+// ProcEvents returns how many engine events each processor consumed — a
+// cheap way to find who is spinning in a livelocked run.
+func (m *Machine) ProcEvents() []int64 {
+	out := make([]int64, len(m.procEvents))
+	copy(out, m.procEvents)
+	return out
+}
+
+// ParkedProcs lists processors currently parked in WaitWhile. Only
+// meaningful after Run returns (typically with ErrDeadlock).
+func (m *Machine) ParkedProcs() []Parked {
+	var out []Parked
+	for pi, pg := range m.pages {
+		if pg == nil {
+			continue
+		}
+		for wi := range pg {
+			for _, wt := range pg[wi].waiters {
+				out = append(out, Parked{
+					Proc:  int(wt.proc),
+					Addr:  Addr(pi*pageWords + wi),
+					While: wt.while,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ErrDeadlock is returned by Run when no processor can make progress: the
+// event queue is empty but some processors are still parked in WaitWhile.
+var ErrDeadlock = errors.New("sim: deadlock: all runnable processors blocked in WaitWhile")
+
+// ErrEventLimit is returned by Run when the MaxEvents safety valve trips.
+var ErrEventLimit = errors.New("sim: event limit exceeded (possible livelock)")
+
+// Run executes program on every processor until all of them return. It may
+// be called only once per Machine. The engine resumes exactly one processor
+// at a time, so programs need no synchronization beyond the Proc API.
+func (m *Machine) Run(program func(p *Proc)) (Stats, error) {
+	if m.ran {
+		return Stats{}, errors.New("sim: Run called twice on the same Machine")
+	}
+	m.ran = true
+
+	for _, p := range m.procs {
+		p := p
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer func() {
+				if r := recover(); r != nil && r != errAborted {
+					panic(r)
+				}
+			}()
+			p.await() // initial resume
+			program(p)
+			p.send(request{kind: reqDone})
+		}()
+	}
+	// Seed one start event per processor at time zero; seq ordering starts
+	// them in processor order.
+	for i := range m.procs {
+		m.schedule(0, int32(i), 0)
+	}
+
+	running := len(m.procs)
+	var err error
+loop:
+	for running > 0 {
+		if m.evq.len() == 0 {
+			err = ErrDeadlock
+			break
+		}
+		if m.events >= m.cfg.MaxEvents {
+			err = ErrEventLimit
+			break
+		}
+		e := m.evq.pop()
+		m.events++
+		m.procEvents[e.proc]++
+		if e.time > m.now {
+			m.now = e.time
+		}
+		p := m.procs[e.proc]
+		p.now = m.now
+		select {
+		case p.resp <- e.val:
+		case <-m.stop:
+			break loop
+		}
+		r := <-p.req
+		switch r.kind {
+		case reqDone:
+			running--
+		default:
+			m.handle(p, r)
+		}
+	}
+	if !m.stopped {
+		m.stopped = true
+		close(m.stop)
+	}
+	m.wg.Wait()
+	return Stats{FinalTime: m.now, Events: m.events, WordsUsed: m.nalloc}, err
+}
+
+func (m *Machine) schedule(t int64, proc int32, val uint64) {
+	m.seq++
+	m.evq.push(event{time: t, seq: m.seq, proc: proc, val: val})
+}
+
+// handle services one memory request and schedules the processor's
+// resumption at the completion time dictated by the cost model.
+func (m *Machine) handle(p *Proc, r request) {
+	c := &m.cfg
+	if c.Trace != nil {
+		c.Trace(TraceEvent{Time: m.now, Proc: int(p.id), Op: traceOpFor(r.kind), Addr: r.addr})
+	}
+	switch r.kind {
+	case reqLocalWork:
+		m.schedule(m.now+r.cycles, p.id, 0)
+
+	case reqRead:
+		w := m.word(r.addr)
+		if w.cached(p.id) {
+			m.schedule(m.now+c.LocalCost, p.id, w.val)
+			return
+		}
+		done := m.readMiss(r.addr, w)
+		w.setSharer(p.id)
+		m.schedule(done, p.id, w.val)
+
+	case reqWrite:
+		w := m.word(r.addr)
+		done := m.mutateAccess(r.addr, w, p.id)
+		old := w.val
+		w.val = r.a
+		w.invalidateExcept(p.id)
+		m.schedule(done, p.id, 0)
+		if old != w.val {
+			m.wakeWaiters(r.addr, done)
+		}
+
+	case reqSwap:
+		w := m.word(r.addr)
+		done := m.mutateAccess(r.addr, w, p.id)
+		old := w.val
+		w.val = r.a
+		w.invalidateExcept(p.id)
+		m.schedule(done, p.id, old)
+		if old != w.val {
+			m.wakeWaiters(r.addr, done)
+		}
+
+	case reqCAS:
+		w := m.word(r.addr)
+		done := m.mutateAccess(r.addr, w, p.id)
+		if w.val == r.a {
+			w.val = r.b
+			w.invalidateExcept(p.id)
+			m.schedule(done, p.id, 1)
+			if r.a != r.b {
+				m.wakeWaiters(r.addr, done)
+			}
+		} else {
+			w.setSharer(p.id)
+			m.schedule(done, p.id, 0)
+		}
+
+	case reqFetchAdd:
+		w := m.word(r.addr)
+		done := m.mutateAccess(r.addr, w, p.id)
+		old := w.val
+		w.val = old + r.a
+		w.invalidateExcept(p.id)
+		m.schedule(done, p.id, old)
+		if r.a != 0 {
+			m.wakeWaiters(r.addr, done)
+		}
+
+	case reqWaitWhile:
+		w := m.word(r.addr)
+		if w.val != r.a {
+			// The probe observes a changed value: charge one read.
+			if w.cached(p.id) {
+				m.schedule(m.now+c.LocalCost, p.id, w.val)
+				return
+			}
+			done := m.readMiss(r.addr, w)
+			w.setSharer(p.id)
+			m.schedule(done, p.id, w.val)
+			return
+		}
+		// Park. The processor spins on its locally cached copy, which
+		// costs nothing until a writer invalidates it.
+		w.setSharer(p.id)
+		w.waiters = append(w.waiters, waiter{proc: p.id, while: r.a, since: m.now})
+
+	default:
+		panic(fmt.Sprintf("sim: unknown request kind %d", r.kind))
+	}
+}
+
+// readMiss charges a read miss. A line some processor already caches is
+// served cache-to-cache at remote latency without occupying the word's
+// home module; only a line nobody shares goes to the module and queues on
+// its occupancy.
+func (m *Machine) readMiss(a Addr, w *word) int64 {
+	if w.anySharer() {
+		return m.now + m.cfg.RemoteCost
+	}
+	return m.remoteAccess(a, w)
+}
+
+// mutateAccess charges a write-type access (write, swap, CAS, add). A
+// processor holding the only cached copy owns the line (MESI M state) and
+// mutates it locally; anyone else pays a remote access with occupancy.
+// Parked waiters force the remote path so their wake-up accounting stays
+// attached to the word's home module.
+func (m *Machine) mutateAccess(a Addr, w *word, proc int32) int64 {
+	if w.cached(proc) && w.soleSharer(proc) && len(w.waiters) == 0 {
+		return m.now + m.cfg.LocalCost
+	}
+	return m.remoteAccess(a, w)
+}
+
+// traceOpFor maps a request kind to its traced operation kind.
+func traceOpFor(k reqKind) TraceOp {
+	switch k {
+	case reqRead:
+		return TraceRead
+	case reqWrite:
+		return TraceWrite
+	case reqSwap:
+		return TraceSwap
+	case reqCAS:
+		return TraceCAS
+	case reqFetchAdd:
+		return TraceFetchAdd
+	case reqWaitWhile:
+		return TraceWaitWhile
+	default:
+		return TraceLocalWork
+	}
+}
+
+// remoteAccess charges a remote access to w's home module and returns the
+// completion time. Overlapping accesses to the same word serialize on the
+// module's occupancy — the hot-spot model.
+func (m *Machine) remoteAccess(a Addr, w *word) int64 {
+	start := m.now
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	w.busyUntil = start + m.cfg.Occupancy
+	m.recordAccess(a, start-m.now)
+	return start + m.cfg.RemoteCost
+}
+
+// wakeWaiters resumes every processor parked on addr whose condition no
+// longer holds. Each wake pays an invalidation + re-fetch, and the
+// re-fetches serialize on the word's occupancy, modeling the thundering
+// herd of spinners re-reading an updated word.
+func (m *Machine) wakeWaiters(addr Addr, writeDone int64) {
+	w := m.word(addr)
+	if len(w.waiters) == 0 {
+		return
+	}
+	kept := w.waiters[:0]
+	for _, wt := range w.waiters {
+		if w.val == wt.while {
+			kept = append(kept, wt)
+			continue
+		}
+		start := writeDone
+		if w.busyUntil > start {
+			start = w.busyUntil
+		}
+		w.busyUntil = start + m.cfg.Occupancy
+		// Book both the module queueing of the re-fetch and the time the
+		// processor spent parked on this word: parked time is where lock
+		// queues (MCS) accumulate their latency.
+		m.recordAccess(addr, (start-writeDone)+(m.now-wt.since))
+		w.setSharer(wt.proc)
+		m.schedule(start+m.cfg.WakeCost, wt.proc, w.val)
+	}
+	w.waiters = kept
+}
+
+func (w *word) cached(proc int32) bool {
+	return w.sharers[proc/64]&(1<<(uint(proc)%64)) != 0
+}
+
+// anySharer reports whether any processor holds a cached copy.
+func (w *word) anySharer() bool {
+	for _, bits := range w.sharers {
+		if bits != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// soleSharer reports whether proc is the only processor with a cached
+// copy.
+func (w *word) soleSharer(proc int32) bool {
+	for i, bits := range w.sharers {
+		expect := uint64(0)
+		if int32(i) == proc/64 {
+			expect = 1 << (uint(proc) % 64)
+		}
+		if bits != expect {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *word) setSharer(proc int32) {
+	w.sharers[proc/64] |= 1 << (uint(proc) % 64)
+}
+
+func (w *word) invalidateExcept(proc int32) {
+	for i := range w.sharers {
+		w.sharers[i] = 0
+	}
+	w.setSharer(proc)
+}

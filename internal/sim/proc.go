@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+)
+
+type reqKind uint8
+
+const (
+	reqRead reqKind = iota + 1
+	reqWrite
+	reqSwap
+	reqCAS
+	reqFetchAdd
+	reqWaitWhile
+	reqLocalWork
+	reqDone
+)
+
+type request struct {
+	kind   reqKind
+	addr   Addr
+	a, b   uint64
+	cycles int64
+}
+
+var errAborted = errors.New("sim: run aborted")
+
+// Proc is the handle a simulated program uses to execute on one processor.
+// All methods block the calling goroutine until the engine completes the
+// operation at the simulated cost; programs are otherwise ordinary Go code.
+type Proc struct {
+	id   int32
+	m    *Machine
+	req  chan request
+	resp chan uint64
+	rng  *rand.Rand
+	now  int64
+}
+
+func newProc(m *Machine, id int, seed int64) *Proc {
+	return &Proc{
+		id:   int32(id),
+		m:    m,
+		req:  make(chan request),
+		resp: make(chan uint64),
+		rng:  rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 12345)),
+	}
+}
+
+// ID returns the processor number in [0, Procs).
+func (p *Proc) ID() int { return int(p.id) }
+
+// Now returns the current simulated cycle as seen by this processor.
+func (p *Proc) Now() int64 { return p.now }
+
+// Rand returns a deterministic pseudo-random int in [0, n).
+func (p *Proc) Rand(n int) int { return p.rng.Intn(n) }
+
+// Rand64 returns a deterministic pseudo-random uint64.
+func (p *Proc) Rand64() uint64 { return p.rng.Uint64() }
+
+// Read returns the value of a shared word.
+func (p *Proc) Read(a Addr) uint64 {
+	p.send(request{kind: reqRead, addr: a})
+	return p.await()
+}
+
+// Write stores v into a shared word.
+func (p *Proc) Write(a Addr, v uint64) {
+	p.send(request{kind: reqWrite, addr: a, a: v})
+	p.await()
+}
+
+// Swap atomically stores v and returns the previous value
+// (register-to-memory swap).
+func (p *Proc) Swap(a Addr, v uint64) uint64 {
+	p.send(request{kind: reqSwap, addr: a, a: v})
+	return p.await()
+}
+
+// CAS atomically replaces old with new if the word equals old, reporting
+// whether it did (compare-and-swap).
+func (p *Proc) CAS(a Addr, old, new uint64) bool {
+	p.send(request{kind: reqCAS, addr: a, a: old, b: new})
+	return p.await() != 0
+}
+
+// FetchAdd atomically adds delta and returns the previous value. The paper
+// assumes machines without hardware fetch-and-add (it is built in software
+// from combining funnels); this primitive exists for baseline ablations.
+func (p *Proc) FetchAdd(a Addr, delta uint64) uint64 {
+	p.send(request{kind: reqFetchAdd, addr: a, a: delta})
+	return p.await()
+}
+
+// WaitWhile blocks while the shared word equals v and returns the first
+// differing value observed. It models spinning on a locally cached word:
+// parked processors consume no simulated (or host) resources until a writer
+// invalidates the word. Callers must treat the returned value as a hint and
+// re-validate with an atomic operation where needed.
+func (p *Proc) WaitWhile(a Addr, v uint64) uint64 {
+	p.send(request{kind: reqWaitWhile, addr: a, a: v})
+	return p.await()
+}
+
+// LocalWork advances this processor's clock by n cycles of private
+// computation.
+func (p *Proc) LocalWork(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.send(request{kind: reqLocalWork, cycles: n})
+	p.await()
+}
+
+func (p *Proc) send(r request) {
+	select {
+	case p.req <- r:
+	case <-p.m.stop:
+		panic(errAborted)
+	}
+}
+
+func (p *Proc) await() uint64 {
+	select {
+	case v := <-p.resp:
+		return v
+	case <-p.m.stop:
+		panic(errAborted)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "sort"
+
+// Access statistics per word, collected when Config.Profile is on. An
+// access is "contended" when it found the word's home module busy and
+// had to queue behind another access — the paper's hot-spot condition.
+type wordStats struct {
+	accesses  int64
+	contended int64
+	waited    int64 // total cycles spent queued
+}
+
+// HotSpot reports the contention profile of one simulated word.
+type HotSpot struct {
+	// Addr is the word's address; Name is the label of the region it
+	// belongs to (or "" if unlabeled).
+	Addr Addr
+	Name string
+	// Accesses counts remote accesses serviced by the word's home module;
+	// Contended counts those that queued; WaitCycles is the total time
+	// accesses spent waiting in the queue.
+	Accesses   int64
+	Contended  int64
+	WaitCycles int64
+}
+
+// label is a named address region for profiling reports.
+type label struct {
+	start, end Addr // [start, end)
+	name       string
+}
+
+// Label names the address range [a, a+n) in profiling reports. Labels are
+// cosmetic: they cost nothing and may be registered at any time before
+// the profile is read.
+func (m *Machine) Label(a Addr, n int, name string) {
+	m.labels = append(m.labels, label{start: a, end: a + Addr(n), name: name})
+}
+
+// LabelFor returns the innermost (latest-registered) label covering a.
+func (m *Machine) LabelFor(a Addr) string {
+	for i := len(m.labels) - 1; i >= 0; i-- {
+		if a >= m.labels[i].start && a < m.labels[i].end {
+			return m.labels[i].name
+		}
+	}
+	return ""
+}
+
+// HotSpots returns the topN most contended words (by wait cycles, then
+// accesses). Profiling must have been enabled in the Config.
+func (m *Machine) HotSpots(topN int) []HotSpot {
+	if m.profile == nil {
+		return nil
+	}
+	out := make([]HotSpot, 0, len(m.profile))
+	for a, ws := range m.profile {
+		out = append(out, HotSpot{
+			Addr:       a,
+			Name:       m.LabelFor(a),
+			Accesses:   ws.accesses,
+			Contended:  ws.contended,
+			WaitCycles: ws.waited,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitCycles != out[j].WaitCycles {
+			return out[i].WaitCycles > out[j].WaitCycles
+		}
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// recordAccess books one module access for the profiler.
+func (m *Machine) recordAccess(a Addr, waited int64) {
+	if m.profile == nil {
+		return
+	}
+	ws := m.profile[a]
+	if ws == nil {
+		ws = &wordStats{}
+		m.profile[a] = ws
+	}
+	ws.accesses++
+	if waited > 0 {
+		ws.contended++
+		ws.waited += waited
+	}
+}

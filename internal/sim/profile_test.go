@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+func TestHotSpotProfiling(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Profile = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := m.Alloc(1)
+	cold := m.Alloc(8)
+	m.Label(hot, 1, "hot-counter")
+	m.Label(cold, 8, "private-slots")
+	_, err = m.Run(func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.FetchAdd(hot, 1)                    // everyone hammers one word
+			p.Write(cold+Addr(p.ID()), uint64(i)) // private, owned after first touch
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spots := m.HotSpots(3)
+	if len(spots) == 0 {
+		t.Fatal("no hot spots recorded")
+	}
+	if spots[0].Addr != hot || spots[0].Name != "hot-counter" {
+		t.Fatalf("top hot spot = %+v, want the shared counter", spots[0])
+	}
+	if spots[0].Contended == 0 || spots[0].WaitCycles == 0 {
+		t.Fatalf("shared counter shows no contention: %+v", spots[0])
+	}
+	for _, s := range spots[1:] {
+		if s.Name == "private-slots" && s.WaitCycles > 0 {
+			t.Fatalf("private slot shows contention: %+v", s)
+		}
+	}
+}
+
+func TestHotSpotsDisabledByDefault(t *testing.T) {
+	m, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	if _, err := m.Run(func(p *Proc) { p.Write(a, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HotSpots(5); got != nil {
+		t.Fatalf("HotSpots without profiling = %v, want nil", got)
+	}
+}
+
+func TestLabelFor(t *testing.T) {
+	m, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(10)
+	m.Label(a, 10, "outer")
+	m.Label(a+2, 3, "inner")
+	if got := m.LabelFor(a + 3); got != "inner" {
+		t.Errorf("LabelFor inner = %q", got)
+	}
+	if got := m.LabelFor(a + 8); got != "outer" {
+		t.Errorf("LabelFor outer = %q", got)
+	}
+	if got := m.LabelFor(a + 100); got != "" {
+		t.Errorf("LabelFor unlabeled = %q", got)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	var events []TraceEvent
+	cfg := DefaultConfig(1)
+	cfg.Trace = func(e TraceEvent) { events = append(events, e) }
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(2)
+	if _, err := m.Run(func(p *Proc) {
+		p.Write(a, 1)
+		p.Read(a)
+		p.Swap(a+1, 2)
+		p.CAS(a+1, 2, 3)
+		p.FetchAdd(a, 1)
+		p.LocalWork(10)
+		p.WaitWhile(a, 99)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceOp{TraceWrite, TraceRead, TraceSwap, TraceCAS, TraceFetchAdd, TraceLocalWork, TraceWaitWhile}
+	if len(events) != len(want) {
+		t.Fatalf("traced %d events, want %d: %v", len(events), len(want), events)
+	}
+	for i, e := range events {
+		if e.Op != want[i] {
+			t.Errorf("event %d = %v, want %v", i, e.Op, want[i])
+		}
+		if e.Proc != 0 {
+			t.Errorf("event %d proc = %d", i, e.Proc)
+		}
+	}
+	// Addresses recorded for memory ops.
+	if events[0].Addr != a || events[2].Addr != a+1 {
+		t.Errorf("addresses wrong: %+v", events)
+	}
+}
+
+func TestTraceOpStrings(t *testing.T) {
+	ops := []TraceOp{TraceRead, TraceWrite, TraceSwap, TraceCAS, TraceFetchAdd, TraceWaitWhile, TraceLocalWork, TraceOp(99)}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("empty name for %d", op)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim implements a deterministic, discrete-event simulator of a
+// cache-coherent NUMA shared-memory multiprocessor, in the spirit of the
+// Proteus simulator used by Shavit and Zemach to evaluate concurrent
+// priority queues on an MIT-Alewife-like machine.
+//
+// The simulator models the phenomena the paper's results depend on:
+//
+//   - a local/remote latency split with a simple invalidation-based cache
+//     (a read hits locally if the word was not written since this
+//     processor last fetched it),
+//   - per-word occupancy queueing, so simultaneous accesses to the same
+//     word serialize (hot spots),
+//   - hardware synchronization primitives limited to the ones the paper
+//     assumes: register-to-memory swap and compare-and-swap,
+//   - parked waiting (WaitWhile), which models a processor spinning on a
+//     locally cached word: it costs nothing while the word is unchanged
+//     and pays an invalidation + re-fetch when a writer changes it.
+//
+// Execution is deterministic: simulated processors run as goroutines, but
+// the engine hands the execution baton to exactly one of them at a time,
+// ordered by (simulated time, event sequence number). All randomness comes
+// from per-processor PRNGs seeded from Config.Seed, so a run is a pure
+// function of the program and the configuration.
+package sim
+
+import "fmt"
+
+// Addr is the address of one word of simulated shared memory.
+type Addr uint32
+
+// MaxProcs is the largest processor count a Machine supports. The sharer
+// set of each memory word is a fixed-size bitmap sized for this limit.
+const MaxProcs = 256
+
+// Config holds the cost parameters of the simulated machine. All costs are
+// in simulated cycles.
+type Config struct {
+	// Procs is the number of processors (1..MaxProcs).
+	Procs int
+	// LocalCost is the latency of a read that hits in the local cache.
+	LocalCost int64
+	// RemoteCost is the round-trip latency of a remote access (read miss,
+	// write, or atomic operation).
+	RemoteCost int64
+	// Occupancy is how long a word's home memory module is busy serving
+	// one remote access; overlapping accesses to the same word queue up
+	// behind each other for this long. This is the hot-spot model.
+	Occupancy int64
+	// WakeCost is the extra latency charged to a parked processor when the
+	// word it spins on changes (invalidation plus re-fetch), on top of the
+	// occupancy queueing of the re-fetch.
+	WakeCost int64
+	// Seed seeds the per-processor PRNGs.
+	Seed int64
+	// MemoryWords is the size of the simulated shared memory. Zero selects
+	// DefaultMemoryWords.
+	MemoryWords int
+	// MaxEvents aborts the run if the engine processes more than this many
+	// events (a safety valve against livelock in simulated programs).
+	// Zero selects DefaultMaxEvents.
+	MaxEvents int64
+	// Profile enables per-word contention accounting, read back after the
+	// run with Machine.HotSpots.
+	Profile bool
+	// Trace, when non-nil, receives every memory operation the engine
+	// services (it is called from the engine goroutine, in deterministic
+	// order, before the operation's effect is applied). Tracing costs no
+	// simulated cycles.
+	Trace func(TraceEvent)
+}
+
+// TraceOp identifies the kind of a traced memory operation.
+type TraceOp uint8
+
+// Traced operation kinds.
+const (
+	TraceRead TraceOp = iota + 1
+	TraceWrite
+	TraceSwap
+	TraceCAS
+	TraceFetchAdd
+	TraceWaitWhile
+	TraceLocalWork
+)
+
+func (op TraceOp) String() string {
+	switch op {
+	case TraceRead:
+		return "read"
+	case TraceWrite:
+		return "write"
+	case TraceSwap:
+		return "swap"
+	case TraceCAS:
+		return "cas"
+	case TraceFetchAdd:
+		return "fetchadd"
+	case TraceWaitWhile:
+		return "waitwhile"
+	case TraceLocalWork:
+		return "localwork"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent describes one serviced memory operation.
+type TraceEvent struct {
+	// Time is the simulated cycle the operation was issued at.
+	Time int64
+	// Proc is the issuing processor.
+	Proc int
+	// Op is the operation kind; Addr its target (unused for LocalWork).
+	Op   TraceOp
+	Addr Addr
+}
+
+// Default cost parameters. They approximate a late-1990s ccNUMA machine:
+// single-digit-cycle cache hits, tens of cycles for a remote round trip,
+// and a memory module that can accept a new request every Occupancy cycles.
+const (
+	DefaultLocalCost   = 2
+	DefaultRemoteCost  = 40
+	DefaultOccupancy   = 10
+	DefaultWakeCost    = 20
+	DefaultMemoryWords = 1 << 26
+	DefaultMaxEvents   = 2_000_000_000
+)
+
+// DefaultConfig returns a Config for p processors with the default cost
+// parameters and seed 1.
+func DefaultConfig(p int) Config {
+	return Config{
+		Procs:      p,
+		LocalCost:  DefaultLocalCost,
+		RemoteCost: DefaultRemoteCost,
+		Occupancy:  DefaultOccupancy,
+		WakeCost:   DefaultWakeCost,
+		Seed:       1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Procs < 1 || c.Procs > MaxProcs {
+		return fmt.Errorf("sim: Procs must be in [1,%d], got %d", MaxProcs, c.Procs)
+	}
+	if c.LocalCost <= 0 {
+		c.LocalCost = DefaultLocalCost
+	}
+	if c.RemoteCost <= 0 {
+		c.RemoteCost = DefaultRemoteCost
+	}
+	if c.Occupancy < 0 {
+		c.Occupancy = DefaultOccupancy
+	}
+	if c.WakeCost < 0 {
+		c.WakeCost = DefaultWakeCost
+	}
+	if c.MemoryWords <= 0 {
+		c.MemoryWords = DefaultMemoryWords
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = DefaultMaxEvents
+	}
+	return nil
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// FinalTime is the simulated cycle at which the last processor
+	// finished.
+	FinalTime int64
+	// Events is the number of engine events processed.
+	Events int64
+	// WordsUsed is the high-water mark of allocated memory words.
+	WordsUsed int
+}

@@ -1,0 +1,113 @@
+package simpq
+
+import "pq/internal/sim"
+
+// Bin is the lock-based bag of Figure 1 of the paper: an MCS-locked array
+// holding arbitrary elements, supporting insertion, removal of an
+// unspecified element, and a lock-free emptiness test.
+type Bin struct {
+	lock  *MCSLock
+	size  sim.Addr
+	elems sim.Addr
+	cap   int
+}
+
+// NewBin allocates a bin with room for capacity elements.
+func NewBin(m *sim.Machine, capacity int) *Bin {
+	b := &Bin{
+		lock:  NewMCSLock(m),
+		size:  m.Alloc(1),
+		elems: m.Alloc(capacity),
+		cap:   capacity,
+	}
+	m.Label(b.size, 1, "bin.size")
+	m.Label(b.elems, capacity, "bin.elems")
+	return b
+}
+
+// Insert adds e to the bin. Like the paper's bin-insert, it silently drops
+// the element if the bin is full; callers size bins so this cannot happen
+// and tests assert it does not. It reports whether the element was stored.
+func (b *Bin) Insert(p *sim.Proc, e uint64) bool {
+	b.lock.Acquire(p)
+	n := p.Read(b.size)
+	stored := n < uint64(b.cap)
+	if stored {
+		p.Write(b.elems+sim.Addr(n), e)
+		p.Write(b.size, n+1)
+	}
+	b.lock.Release(p)
+	return stored
+}
+
+// Empty reports whether the bin currently looks empty; it costs one read
+// and takes no lock.
+func (b *Bin) Empty(p *sim.Proc) bool {
+	return p.Read(b.size) == 0
+}
+
+// Delete removes and returns an unspecified element, or ok=false if the
+// bin is empty.
+func (b *Bin) Delete(p *sim.Proc) (uint64, bool) {
+	b.lock.Acquire(p)
+	n := p.Read(b.size)
+	if n == 0 {
+		b.lock.Release(p)
+		return 0, false
+	}
+	e := p.Read(b.elems + sim.Addr(n-1))
+	p.Write(b.size, n-1)
+	b.lock.Release(p)
+	return e, true
+}
+
+// Counter is the paper's shared counter (Figure 1) implemented with a
+// lock, standing in for the "atomically" blocks the paper assumes are
+// provided by hardware (e.g. Alewife's full/empty bits) on machines
+// without fetch-and-add. It supports fetch-and-increment and bounded
+// fetch-and-decrement.
+type Counter struct {
+	lock *MCSLock
+	val  sim.Addr
+}
+
+// NewCounter allocates a counter initialized to zero.
+func NewCounter(m *sim.Machine) *Counter {
+	c := &Counter{lock: NewMCSLock(m), val: m.Alloc(1)}
+	m.Label(c.val, 1, "counter.val")
+	return c
+}
+
+// FaI atomically increments the counter and returns the previous value.
+func (c *Counter) FaI(p *sim.Proc) uint64 {
+	c.lock.Acquire(p)
+	old := p.Read(c.val)
+	p.Write(c.val, old+1)
+	c.lock.Release(p)
+	return old
+}
+
+// BFaD atomically decrements the counter unless it is at or below bound,
+// and returns the previous value (Figure 1's bounded fetch-and-decrement).
+func (c *Counter) BFaD(p *sim.Proc, bound uint64) uint64 {
+	c.lock.Acquire(p)
+	old := p.Read(c.val)
+	if old > bound {
+		p.Write(c.val, old-1)
+	}
+	c.lock.Release(p)
+	return old
+}
+
+// BFaI atomically increments the counter unless it is at or above bound,
+// and returns the previous value (the analogous bounded
+// fetch-and-increment).
+func (c *Counter) BFaI(p *sim.Proc, bound uint64) uint64 {
+	c.lock.Acquire(p)
+	old := p.Read(c.val)
+	if old < bound {
+		p.Write(c.val, old+1)
+	}
+	c.lock.Release(p)
+	return old
+}

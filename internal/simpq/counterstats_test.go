@@ -1,0 +1,43 @@
+package simpq
+
+import (
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// TestCounterStatsBreakdown is a tuning diagnostic: it reports how funnel
+// counter operations retire under a balanced mix at full concurrency for
+// the bounded (eliminating) and unbounded (pure combining) counters.
+func TestCounterStatsBreakdown(t *testing.T) {
+	for _, bounded := range []bool{false, true} {
+		m, err := sim.New(sim.DefaultConfig(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewFunnelCounter(m, DefaultFunnelParams(256), bounded, 0)
+		m.SetWord(c.main, 1<<40)
+		const ops = 30
+		cycles := make([]int64, 256)
+		_, err = m.Run(func(p *sim.Proc) {
+			for i := 0; i < ops; i++ {
+				p.LocalWork(50)
+				t0 := p.Now()
+				if p.Rand(2) == 0 {
+					c.BFaD(p)
+				} else {
+					c.FaI(p)
+				}
+				cycles[p.ID()] += p.Now() - t0
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tot int64
+		for _, v := range cycles {
+			tot += v
+		}
+		t.Logf("bounded=%v mean=%d stats=%+v", bounded, tot/(256*ops), c.Stats)
+	}
+}

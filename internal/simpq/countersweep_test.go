@@ -1,0 +1,64 @@
+package simpq
+
+import (
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// TestCounterParamSweep is a tuning diagnostic over funnel geometries.
+func TestCounterParamSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning diagnostic")
+	}
+	type variant struct {
+		name   string
+		params FunnelParams
+	}
+	mk := func(name string, widths []int, attempts int, spin int64) variant {
+		sp := make([]int64, len(widths))
+		for i := range sp {
+			sp[i] = spin
+		}
+		return variant{name, FunnelParams{Widths: widths, Attempts: attempts, Spin: sp, Adaptive: true}}
+	}
+	variants := []variant{
+		mk("default-32.16.8.4/a3/s80", []int{32, 16, 8, 4}, 3, 80),
+		mk("long-16.8.4.2/a3/s200", []int{16, 8, 4, 2}, 3, 200),
+		mk("deep5-16.8.4.2.1/a4/s150", []int{16, 8, 4, 2, 1}, 4, 150),
+		mk("deep5-32.16.8.4.2/a4/s200", []int{32, 16, 8, 4, 2}, 4, 200),
+		mk("deep6-32.16.8.4.2.1/a4/s200", []int{32, 16, 8, 4, 2, 1}, 4, 200),
+		mk("deep6-16.16.8.8.4.4/a5/s150", []int{16, 16, 8, 8, 4, 4}, 5, 150),
+	}
+	for _, v := range variants {
+		for _, bounded := range []bool{false, true} {
+			m, err := sim.New(sim.DefaultConfig(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewFunnelCounter(m, v.params, bounded, 0)
+			m.SetWord(c.main, 1<<40)
+			const ops = 30
+			cycles := make([]int64, 256)
+			if _, err = m.Run(func(p *sim.Proc) {
+				for i := 0; i < ops; i++ {
+					p.LocalWork(50)
+					t0 := p.Now()
+					if p.Rand(2) == 0 {
+						c.BFaD(p)
+					} else {
+						c.FaI(p)
+					}
+					cycles[p.ID()] += p.Now() - t0
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var tot int64
+			for _, vv := range cycles {
+				tot += vv
+			}
+			t.Logf("%-28s bounded=%-5v mean=%6d stats=%+v", v.name, bounded, tot/(256*ops), c.Stats)
+		}
+	}
+}

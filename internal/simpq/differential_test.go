@@ -1,0 +1,98 @@
+package simpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"pq/internal/refpq"
+	"pq/internal/sim"
+)
+
+// TestDifferentialSequentialOnSim runs each stack-binned queue on a
+// single simulated processor against the sequential reference: every
+// return value must match exactly, including equal-priority (LIFO) order.
+func TestDifferentialSequentialOnSim(t *testing.T) {
+	algs := []Algorithm{AlgSimpleLinear, AlgSimpleTree, AlgLinearFunnels, AlgFunnelTree}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				const npri = 8
+				const ops = 250
+				var q Queue
+				mismatch := ""
+				runOn(t, 1,
+					func(m *sim.Machine) { q = Build(alg, m, npri, ops+1) },
+					func(p *sim.Proc) {
+						ref := refpq.New(npri)
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < ops && mismatch == ""; i++ {
+							if rng.Intn(5) < 3 {
+								pri := rng.Intn(npri)
+								v := uint64(i)<<8 | uint64(pri)
+								q.Insert(p, pri, v)
+								ref.Insert(pri, v)
+							} else {
+								gv, gok := q.DeleteMin(p)
+								wv, wok := ref.DeleteMin()
+								if gok != wok || (gok && gv != wv) {
+									mismatch = "mid-stream mismatch"
+								}
+							}
+						}
+						for mismatch == "" {
+							gv, gok := q.DeleteMin(p)
+							wv, wok := ref.DeleteMin()
+							if gok != wok || (gok && gv != wv) {
+								mismatch = "drain mismatch"
+							}
+							if !gok {
+								break
+							}
+						}
+					})
+				if mismatch != "" {
+					t.Fatalf("seed %d: %s", seed, mismatch)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialHeapPriOnSim checks the heap-based queues for exact
+// minimum-priority behaviour against the reference (value order within a
+// priority is unspecified for heaps).
+func TestDifferentialHeapPriOnSim(t *testing.T) {
+	for _, alg := range []Algorithm{AlgSingleLock, AlgHuntEtAl} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			const npri = 8
+			const ops = 250
+			var q Queue
+			mismatch := ""
+			runOn(t, 1,
+				func(m *sim.Machine) { q = Build(alg, m, npri, ops+1) },
+				func(p *sim.Proc) {
+					ref := refpq.New(npri)
+					rng := rand.New(rand.NewSource(42))
+					for i := 0; i < ops && mismatch == ""; i++ {
+						if rng.Intn(5) < 3 {
+							pri := rng.Intn(npri)
+							v := uint64(i)<<8 | uint64(pri)
+							q.Insert(p, pri, v)
+							ref.Insert(pri, v)
+						} else {
+							gv, gok := q.DeleteMin(p)
+							wv, wok := ref.DeleteMin()
+							if gok != wok || (gok && gv&0xff != wv&0xff) {
+								mismatch = "priority mismatch"
+							}
+						}
+					}
+				})
+			if mismatch != "" {
+				t.Fatal(mismatch)
+			}
+		})
+	}
+}

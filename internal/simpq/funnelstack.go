@@ -1,0 +1,217 @@
+package simpq
+
+import "pq/internal/sim"
+
+// FunnelStack is the combining-funnel stack used as the bin of the
+// LinearFunnels and FunnelTree queues: pushes and pops combine into
+// homogeneous trees through the funnel layers, reversing trees of equal
+// size eliminate (each pop receives one push's item without touching the
+// stack), and a tree that exits the funnel applies its whole batch to the
+// central stack at once. Emptiness costs a single read of the size word.
+//
+// The central storage discipline is LIFO by default (the paper's choice:
+// simple and it composes with elimination). Section 3.2 suggests a hybrid
+// for fairness-sensitive applications — "supports elimination in the
+// funnel, but queues items internally in FIFO order" — selected with
+// NewFunnelQueue: the funnel protocol is identical, only the central
+// batch application changes (a ring with separate head and tail).
+type FunnelStack struct {
+	f     *funnel
+	lock  *MCSLock
+	size  sim.Addr // item count: the one-read emptiness test
+	head  sim.Addr // ring head (FIFO mode only; LIFO uses cells[0..size))
+	cells sim.Addr
+	cap   int
+	fifo  bool
+
+	// dropped counts items lost to capacity overflow (test diagnostics;
+	// workloads size the stack so this stays zero).
+	dropped int
+}
+
+// NewFunnelStack builds a LIFO funnel stack with room for capacity items.
+func NewFunnelStack(m *sim.Machine, params FunnelParams, capacity int) *FunnelStack {
+	return newFunnelBin(m, params, capacity, false)
+}
+
+// NewFunnelQueue builds the hybrid bin of Section 3.2: elimination in the
+// funnel, FIFO order in the central storage.
+func NewFunnelQueue(m *sim.Machine, params FunnelParams, capacity int) *FunnelStack {
+	return newFunnelBin(m, params, capacity, true)
+}
+
+func newFunnelBin(m *sim.Machine, params FunnelParams, capacity int, fifo bool) *FunnelStack {
+	s := &FunnelStack{
+		f:     newFunnel(m, params),
+		lock:  NewMCSLock(m),
+		size:  m.Alloc(1),
+		head:  m.Alloc(1),
+		cells: m.Alloc(capacity),
+		cap:   capacity,
+		fifo:  fifo,
+	}
+	m.Label(s.size, 1, "funnelstack.size")
+	m.Label(s.head, 1, "funnelstack.head")
+	m.Label(s.cells, capacity, "funnelstack.cells")
+	return s
+}
+
+// Empty reports whether the bin currently looks empty (one read, as the
+// paper stresses for LinearFunnels' delete-min scan).
+func (s *FunnelStack) Empty(p *sim.Proc) bool { return p.Read(s.size) == 0 }
+
+// Push adds an item to the stack.
+func (s *FunnelStack) Push(p *sim.Proc, item uint64) {
+	my := s.f.recs[p.ID()]
+	p.Write(my.addr+frItem, item)
+	s.run(p, 1)
+}
+
+// Pop removes an item, or reports ok=false if the stack ran dry (which
+// concurrent elimination cannot cause: an eliminated pop always receives
+// an item).
+func (s *FunnelStack) Pop(p *sim.Proc) (uint64, bool) {
+	v, ok := s.run(p, -1)
+	return v, ok
+}
+
+// run drives one operation (push s=+1, pop s=-1) through the funnel.
+func (s *FunnelStack) run(p *sim.Proc, dir int64) (uint64, bool) {
+	my := s.f.begin(p, dir)
+	mySum := dir
+	d := 0
+	for {
+		var (
+			outcome collideOutcome
+			q       *funnelRec
+		)
+		outcome, q, d, mySum = s.f.collide(p, my, mySum, true, d)
+		switch outcome {
+		case outCaptured:
+			// The root (or eliminating peer) writes results for the whole
+			// flattened tree; nothing further to distribute.
+			_, fail, v := awaitResult(p, my)
+			my.adapt(s.f.params.Adaptive)
+			return v, !fail
+
+		case outEliminated:
+			return s.eliminate(p, my, q, dir)
+
+		case outExit:
+			if !p.CAS(my.addr+frLocation, locCode(d), 0) {
+				_, fail, v := awaitResult(p, my)
+				my.adapt(s.f.params.Adaptive)
+				return v, !fail
+			}
+			return s.applyCentral(p, my, dir)
+		}
+	}
+}
+
+// eliminate pairs the members of two equal-size reversing trees: the i-th
+// pop receives the i-th push's item; no one touches the central stack.
+// The captured root q's result is written last: q is members[0] of its
+// tree, and delivering its result frees it to start a new operation that
+// rewrites the members list this loop still reads.
+func (s *FunnelStack) eliminate(p *sim.Proc, my, q *funnelRec, dir int64) (uint64, bool) {
+	pushTree, popTree := my, q
+	if dir < 0 {
+		pushTree, popTree = q, my
+	}
+	var ownVal, qResult uint64
+	for i := range my.members {
+		pushRec, popRec := pushTree.members[i], popTree.members[i]
+		item := p.Read(pushRec.addr + frItem)
+		switch popRec {
+		case my:
+			ownVal = item
+		case q:
+			qResult = encodeResult(true, false, item)
+		default:
+			p.Write(popRec.addr+frResult, encodeResult(true, false, item))
+		}
+		if pushRec != my && pushRec != q {
+			p.Write(pushRec.addr+frResult, encodeResult(true, false, 0))
+		} else if pushRec == q {
+			qResult = encodeResult(true, false, 0)
+		}
+	}
+	p.Write(q.addr+frResult, qResult)
+	my.adapt(s.f.params.Adaptive)
+	return ownVal, true
+}
+
+// applyCentral applies the whole homogeneous tree to the central storage
+// under its lock and hands out results to every member. The storage is a
+// ring: LIFO mode pops from the tail, FIFO mode pops from the head.
+func (s *FunnelStack) applyCentral(p *sim.Proc, my *funnelRec, dir int64) (uint64, bool) {
+	k := len(my.members)
+	var ownVal uint64
+	ownOK := true
+
+	s.lock.Acquire(p)
+	n := int(p.Read(s.size))
+	if dir > 0 { // k pushes append at the tail
+		stored := k
+		if n+stored > s.cap {
+			stored = s.cap - n
+			s.dropped += k - stored
+		}
+		// LIFO keeps items in cells[0..size), so the tail is the size
+		// itself; FIFO is a ring starting at head.
+		t := n
+		if s.fifo {
+			t = (int(p.Read(s.head)) + n) % s.cap
+		}
+		for i := 0; i < stored; i++ {
+			item := p.Read(my.members[i].addr + frItem)
+			p.Write(s.cells+sim.Addr((t+i)%s.cap), item)
+		}
+		p.Write(s.size, uint64(n+stored))
+		s.lock.Release(p)
+		for _, mem := range my.members[1:] {
+			p.Write(mem.addr+frResult, encodeResult(false, false, 0))
+		}
+		my.adapt(s.f.params.Adaptive)
+		return 0, true
+	}
+
+	// k pops take from the tail (LIFO) or the head (FIFO).
+	avail := k
+	if avail > n {
+		avail = n
+	}
+	items := make([]uint64, avail)
+	if s.fifo {
+		h := int(p.Read(s.head))
+		for i := 0; i < avail; i++ {
+			items[i] = p.Read(s.cells + sim.Addr((h+i)%s.cap))
+		}
+		p.Write(s.head, uint64((h+avail)%s.cap))
+	} else {
+		for i := 0; i < avail; i++ {
+			items[i] = p.Read(s.cells + sim.Addr(n-1-i))
+		}
+	}
+	p.Write(s.size, uint64(n-avail))
+	s.lock.Release(p)
+	for i, mem := range my.members {
+		var res uint64
+		if i < avail {
+			res = encodeResult(false, false, items[i])
+		} else {
+			res = encodeResult(false, true, 0)
+		}
+		if mem == my {
+			if i < avail {
+				ownVal = items[i]
+			} else {
+				ownOK = false
+			}
+			continue
+		}
+		p.Write(mem.addr+frResult, res)
+	}
+	my.adapt(s.f.params.Adaptive)
+	return ownVal, ownOK
+}

@@ -1,0 +1,135 @@
+package simpq
+
+import "pq/internal/sim"
+
+// DefaultFunnelCutoff is the number of tree levels (from the root) whose
+// counters use combining funnels in FunnelTree; deeper counters see far
+// less traffic and use plain lock-based counters, exactly as the paper
+// does ("only for counters at the top four levels of the tree").
+const DefaultFunnelCutoff = 4
+
+// treeCounter abstracts the two counter kinds FunnelTree mixes.
+type treeCounter interface {
+	FaI(p *sim.Proc) uint64
+	BFaD(p *sim.Proc) uint64
+}
+
+// simpleTreeCounter adapts the lock-based Counter (bound fixed at 0).
+type simpleTreeCounter struct{ c *Counter }
+
+func (s simpleTreeCounter) FaI(p *sim.Proc) uint64  { return s.c.FaI(p) }
+func (s simpleTreeCounter) BFaD(p *sim.Proc) uint64 { return s.c.BFaD(p, 0) }
+
+// FunnelTree is the paper's second new algorithm: SimpleTree with
+// combining-funnel counters in the hottest (top) tree levels and
+// funnel stacks as leaf bins.
+type FunnelTree struct {
+	npri     int
+	nleaves  int
+	counters []treeCounter // 1-based, len nleaves
+	bins     []*FunnelStack
+}
+
+// NewFunnelTree builds the tree queue with the default funnel cut-off.
+func NewFunnelTree(m *sim.Machine, npri, maxItems int, params FunnelParams) *FunnelTree {
+	return NewFunnelTreeCutoff(m, npri, maxItems, params, DefaultFunnelCutoff)
+}
+
+// NewFunnelTreeCutoff builds the tree queue using funnel counters for the
+// top cutoff levels and lock-based counters below — the ablation knob for
+// the paper's Section 3.2 cut-off decision. cutoff <= 0 uses lock-based
+// counters everywhere; a large cutoff uses funnels everywhere.
+func NewFunnelTreeCutoff(m *sim.Machine, npri, maxItems int, params FunnelParams, cutoff int) *FunnelTree {
+	return NewFunnelTreeDiscipline(m, npri, maxItems, params, cutoff, false)
+}
+
+// NewFunnelTreeDiscipline additionally selects the leaf-bin discipline:
+// LIFO funnel stacks (false, the paper's default) or the Section 3.2
+// hybrid FIFO bins with funnel elimination (true).
+func NewFunnelTreeDiscipline(m *sim.Machine, npri, maxItems int, params FunnelParams, cutoff int, fifo bool) *FunnelTree {
+	nl := ceilPow2(npri)
+	q := &FunnelTree{
+		npri:     npri,
+		nleaves:  nl,
+		counters: make([]treeCounter, nl),
+		bins:     make([]*FunnelStack, nl),
+	}
+	for i := 1; i < nl; i++ {
+		if level(i) < cutoff {
+			// A node at level l sees roughly procs/2^l of the traffic;
+			// size its funnel for that, which is the static analogue of
+			// the paper's observation that deeper funnels shrink on their
+			// own.
+			nodeParams := scaledParams(params, m.Procs()>>uint(level(i)))
+			q.counters[i] = NewFunnelCounter(m, nodeParams, true, 0)
+		} else {
+			q.counters[i] = simpleTreeCounter{c: NewCounter(m)}
+		}
+	}
+	binParams := scaledParams(params, 2*m.Procs()/nl)
+	for i := 0; i < nl; i++ {
+		q.bins[i] = newFunnelBin(m, binParams, maxItems, fifo)
+	}
+	return q
+}
+
+// scaledParams returns params resized for the given expected traffic,
+// preserving explicit non-default tunings only in shape (attempts, spin,
+// adaptivity).
+func scaledParams(base FunnelParams, traffic int) FunnelParams {
+	if traffic < 1 {
+		traffic = 1
+	}
+	p := DefaultFunnelParams(traffic)
+	p.Attempts = base.Attempts
+	p.Adaptive = base.Adaptive
+	for l := range p.Spin {
+		if l < len(base.Spin) {
+			p.Spin[l] = base.Spin[l]
+		}
+	}
+	return p
+}
+
+// level returns the tree level of node i (root = level 0).
+func level(i int) int {
+	l := -1
+	for i > 0 {
+		i /= 2
+		l++
+	}
+	return l
+}
+
+// NumPriorities reports the fixed priority range.
+func (q *FunnelTree) NumPriorities() int { return q.npri }
+
+// Insert pushes val onto its leaf stack and ascends, incrementing every
+// counter reached from the left.
+func (q *FunnelTree) Insert(p *sim.Proc, pri int, val uint64) {
+	q.bins[pri].Push(p, val)
+	n := q.nleaves + pri
+	for n > 1 {
+		parent := n / 2
+		if n == 2*parent {
+			q.counters[parent].FaI(p)
+		}
+		n = parent
+	}
+}
+
+// DeleteMin descends from the root by bounded fetch-and-decrement and pops
+// the reached leaf's stack.
+func (q *FunnelTree) DeleteMin(p *sim.Proc) (uint64, bool) {
+	n := 1
+	for n < q.nleaves {
+		if q.counters[n].BFaD(p) > 0 {
+			n = 2 * n
+		} else {
+			n = 2*n + 1
+		}
+	}
+	return q.bins[n-q.nleaves].Pop(p)
+}
+
+var _ Queue = (*FunnelTree)(nil)

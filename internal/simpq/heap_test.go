@@ -1,0 +1,133 @@
+package simpq
+
+import (
+	"sort"
+	"testing"
+
+	"pq/internal/sim"
+)
+
+func TestSingleLockHeapOrder(t *testing.T) {
+	var q *SingleLock
+	var got []int
+	runOn(t, 1,
+		func(m *sim.Machine) { q = NewSingleLock(m, 64, 128) },
+		func(p *sim.Proc) {
+			pris := []int{33, 7, 0, 63, 7, 12, 1, 42, 0, 33, 33}
+			for i, pr := range pris {
+				q.Insert(p, pr, uint64(pr)<<8|uint64(i))
+			}
+			for {
+				v, ok := q.DeleteMin(p)
+				if !ok {
+					break
+				}
+				got = append(got, int(v>>8))
+			}
+		})
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("heap drain not sorted: %v", got)
+	}
+	if len(got) != 11 {
+		t.Fatalf("drained %d, want 11", len(got))
+	}
+}
+
+func TestSingleLockCapacityDrop(t *testing.T) {
+	var q *SingleLock
+	var drained int
+	runOn(t, 1,
+		func(m *sim.Machine) { q = NewSingleLock(m, 8, 3) },
+		func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				q.Insert(p, i%8, uint64(i)+1)
+			}
+			for {
+				if _, ok := q.DeleteMin(p); !ok {
+					break
+				}
+				drained++
+			}
+		})
+	if drained != 3 {
+		t.Fatalf("drained %d, want capacity 3", drained)
+	}
+}
+
+func TestSingleLockConcurrentMultiset(t *testing.T) {
+	const procs = 8
+	const perProc = 30
+	var q *SingleLock
+	var bar *barrier
+	removed := make([][]uint64, procs)
+	var drained []uint64
+	runOn(t, procs,
+		func(m *sim.Machine) {
+			q = NewSingleLock(m, 16, procs*perProc+1)
+			bar = newBarrier(m)
+		},
+		func(p *sim.Proc) {
+			id := p.ID()
+			for i := 0; i < perProc; i++ {
+				if p.Rand(2) == 0 {
+					q.Insert(p, p.Rand(16), encVal(0, id, i))
+				} else if v, ok := q.DeleteMin(p); ok {
+					removed[id] = append(removed[id], v)
+				}
+			}
+			bar.wait(p, 1)
+			if id == 0 {
+				for {
+					v, ok := q.DeleteMin(p)
+					if !ok {
+						break
+					}
+					drained = append(drained, v)
+				}
+			}
+		})
+	seen := map[uint64]int{}
+	for _, vs := range removed {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range drained {
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %#x delivered %d times", v, n)
+		}
+	}
+}
+
+func TestBitRevPosSim(t *testing.T) {
+	// Same properties as the native copy: per-level bijection and
+	// heap-closed slot sets for every size.
+	for level := uint(0); level < 9; level++ {
+		lo := uint64(1) << level
+		seen := map[uint64]bool{}
+		for k := lo; k < lo*2; k++ {
+			pos := bitRevPos(k)
+			if pos < lo || pos >= lo*2 {
+				t.Fatalf("bitRevPos(%d) = %d outside level", k, pos)
+			}
+			if seen[pos] {
+				t.Fatalf("collision at %d", pos)
+			}
+			seen[pos] = true
+		}
+	}
+	for n := uint64(1); n <= 512; n++ {
+		occupied := map[uint64]bool{1: true}
+		for k := uint64(1); k <= n; k++ {
+			occupied[bitRevPos(k)] = true
+		}
+		for k := uint64(1); k <= n; k++ {
+			if pos := bitRevPos(k); pos > 1 && !occupied[pos/2] {
+				t.Fatalf("n=%d: slot %d's parent unoccupied", n, pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package simpq
+
+import (
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// TestHuntLivelockDiagnostic reproduces the concurrent mixed workload with
+// a low event budget and dumps heap state if the simulation livelocks.
+func TestHuntLivelockDiagnostic(t *testing.T) {
+	cfg := sim.DefaultConfig(16)
+	cfg.MaxEvents = 3_000_000
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProc = 20
+	q := NewHunt(m, 8, 16*perProc+1)
+	bar := newBarrier(m)
+	_, err = m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		for i := 0; i < perProc; i++ {
+			if p.Rand(2) == 0 {
+				q.Insert(p, p.Rand(8), encVal(p.Rand(8), id, i))
+			} else {
+				q.DeleteMin(p)
+			}
+		}
+		bar.wait(p, 1)
+		if id == 0 {
+			for {
+				if _, ok := q.DeleteMin(p); !ok {
+					break
+				}
+			}
+		}
+	})
+	if err != nil {
+		size := m.Word(q.size)
+		t.Logf("err=%v size=%d", err, size)
+		for i := 1; i < q.slots; i++ {
+			tag := m.Word(q.tagAddr(uint64(i)))
+			lockWord := m.Word(q.locks[i].word)
+			if tag != huntEmpty || lockWord != 0 {
+				t.Logf("node %3d: tag=%d lock=%d pri=%d", i, tag, lockWord, m.Word(q.priAddr(uint64(i))))
+			}
+		}
+		t.Fatalf("livelocked: %v", err)
+	}
+}

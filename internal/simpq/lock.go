@@ -1,0 +1,89 @@
+package simpq
+
+import "pq/internal/sim"
+
+// MCSLock is the queue lock of Mellor-Crummey and Scott on simulated
+// memory. Each processor spins on its own queue node, so waiting generates
+// no traffic at the lock word; release hands the lock to the next waiter
+// with a single remote write.
+type MCSLock struct {
+	tail  sim.Addr // 0 = free, else qnode address + 1
+	nodes sim.Addr // procs * 2 words: [next, locked] per processor
+}
+
+const (
+	mcsNext   = 0
+	mcsLocked = 1
+)
+
+// NewMCSLock allocates a lock and one queue node per processor.
+func NewMCSLock(m *sim.Machine) *MCSLock {
+	l := &MCSLock{tail: m.Alloc(1), nodes: m.Alloc(m.Procs() * 2)}
+	m.Label(l.tail, 1, "mcs.tail")
+	m.Label(l.nodes, m.Procs()*2, "mcs.qnodes")
+	return l
+}
+
+func (l *MCSLock) node(p *sim.Proc) sim.Addr {
+	return l.nodes + sim.Addr(p.ID()*2)
+}
+
+// Acquire blocks until the calling processor holds the lock.
+func (l *MCSLock) Acquire(p *sim.Proc) {
+	n := l.node(p)
+	p.Write(n+mcsNext, 0)
+	pred := p.Swap(l.tail, uint64(n)+1)
+	if pred == 0 {
+		return
+	}
+	p.Write(n+mcsLocked, 1)
+	p.Write(sim.Addr(pred-1)+mcsNext, uint64(n)+1)
+	for p.Read(n+mcsLocked) == 1 {
+		p.WaitWhile(n+mcsLocked, 1)
+	}
+}
+
+// Release passes the lock to the next waiter, if any.
+func (l *MCSLock) Release(p *sim.Proc) {
+	n := l.node(p)
+	next := p.Read(n + mcsNext)
+	if next == 0 {
+		if p.CAS(l.tail, uint64(n)+1, 0) {
+			return
+		}
+		// A successor is in the middle of linking itself in.
+		next = p.WaitWhile(n+mcsNext, 0)
+	}
+	p.Write(sim.Addr(next-1)+mcsLocked, 0)
+}
+
+// TASLock is a test-and-set lock with parked waiting, used where the paper
+// needs many cheap fine-grained locks (heap nodes, skip-list nodes). A
+// waiter parks on the lock word and retries the swap when it changes.
+type TASLock struct {
+	word sim.Addr
+}
+
+// NewTASLock allocates a one-word lock.
+func NewTASLock(m *sim.Machine) TASLock {
+	l := TASLock{word: m.Alloc(1)}
+	m.Label(l.word, 1, "tas.lock")
+	return l
+}
+
+// Acquire blocks until the calling processor holds the lock.
+func (l TASLock) Acquire(p *sim.Proc) {
+	for p.Swap(l.word, 1) != 0 {
+		p.WaitWhile(l.word, 1)
+	}
+}
+
+// TryAcquire attempts the lock once without waiting and reports success.
+func (l TASLock) TryAcquire(p *sim.Proc) bool {
+	return p.Swap(l.word, 1) == 0
+}
+
+// Release frees the lock.
+func (l TASLock) Release(p *sim.Proc) {
+	p.Write(l.word, 0)
+}

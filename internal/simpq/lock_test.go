@@ -1,0 +1,155 @@
+package simpq
+
+import (
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// runOn builds a machine, applies setup, runs program on every processor,
+// and fails the test on simulator errors.
+func runOn(t *testing.T, procs int, setup func(m *sim.Machine), program func(p *sim.Proc)) sim.Stats {
+	t.Helper()
+	m, err := sim.New(sim.DefaultConfig(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(m)
+	stats, err := m.Run(program)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	return stats
+}
+
+func TestMCSLockMutualExclusion(t *testing.T) {
+	const procs = 16
+	const iters = 30
+	var (
+		lock    *MCSLock
+		counter sim.Addr
+		m       *sim.Machine
+	)
+	runOn(t, procs,
+		func(mm *sim.Machine) {
+			m = mm
+			lock = NewMCSLock(mm)
+			counter = mm.Alloc(1)
+		},
+		func(p *sim.Proc) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(p)
+				// Non-atomic read-modify-write: only mutual exclusion
+				// makes this correct.
+				v := p.Read(counter)
+				p.LocalWork(int64(p.Rand(20)))
+				p.Write(counter, v+1)
+				lock.Release(p)
+			}
+		})
+	if got := m.Word(counter); got != procs*iters {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", got, procs*iters)
+	}
+}
+
+func TestMCSLockUncontendedFastPath(t *testing.T) {
+	var (
+		lock *MCSLock
+		cost int64
+	)
+	runOn(t, 1,
+		func(m *sim.Machine) { lock = NewMCSLock(m) },
+		func(p *sim.Proc) {
+			t0 := p.Now()
+			lock.Acquire(p)
+			lock.Release(p)
+			cost = p.Now() - t0
+		})
+	// Uncontended: one swap + node write on acquire, read + CAS on release.
+	maxCost := int64(6 * sim.DefaultRemoteCost)
+	if cost <= 0 || cost > maxCost {
+		t.Fatalf("uncontended acquire/release cost = %d, want (0,%d]", cost, maxCost)
+	}
+}
+
+func TestTASLockMutualExclusion(t *testing.T) {
+	const procs = 12
+	const iters = 25
+	var (
+		lock    TASLock
+		counter sim.Addr
+		m       *sim.Machine
+	)
+	runOn(t, procs,
+		func(mm *sim.Machine) {
+			m = mm
+			lock = NewTASLock(mm)
+			counter = mm.Alloc(1)
+		},
+		func(p *sim.Proc) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(p)
+				v := p.Read(counter)
+				p.LocalWork(int64(p.Rand(10)))
+				p.Write(counter, v+1)
+				lock.Release(p)
+			}
+		})
+	if got := m.Word(counter); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+}
+
+func TestTASLockTryAcquire(t *testing.T) {
+	var (
+		lock          TASLock
+		firstGot      bool
+		secondBlocked bool
+	)
+	runOn(t, 2,
+		func(m *sim.Machine) { lock = NewTASLock(m) },
+		func(p *sim.Proc) {
+			if p.ID() == 0 {
+				firstGot = lock.TryAcquire(p)
+				p.LocalWork(5000)
+				lock.Release(p)
+			} else {
+				p.LocalWork(500) // let proc 0 take it first
+				if !lock.TryAcquire(p) {
+					secondBlocked = true
+				} else {
+					lock.Release(p)
+				}
+			}
+		})
+	if !firstGot {
+		t.Error("first TryAcquire failed on a free lock")
+	}
+	if !secondBlocked {
+		t.Error("second TryAcquire succeeded on a held lock")
+	}
+}
+
+func TestMCSLockFIFOHandoff(t *testing.T) {
+	// Processors arrive in a staggered order; MCS must grant the lock in
+	// arrival order.
+	const procs = 8
+	var (
+		lock  *MCSLock
+		order []int
+	)
+	runOn(t, procs,
+		func(m *sim.Machine) { lock = NewMCSLock(m) },
+		func(p *sim.Proc) {
+			p.LocalWork(int64(p.ID()) * 500) // stagger arrivals widely
+			lock.Acquire(p)
+			order = append(order, p.ID())
+			p.LocalWork(2000) // hold long enough that all later procs queue
+			lock.Release(p)
+		})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("handoff order %v, want arrival order", order)
+		}
+	}
+}

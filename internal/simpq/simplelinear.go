@@ -1,0 +1,44 @@
+package simpq
+
+import "pq/internal/sim"
+
+// SimpleLinear is the paper's Figure 2 queue: an array of lock-based bins,
+// one per priority. Insertion drops the element in its bin; delete-min
+// scans from the smallest priority, attempting deletion only on bins that
+// look non-empty.
+type SimpleLinear struct {
+	bins []*Bin
+}
+
+// NewSimpleLinear builds the queue with npri bins of capacity maxItems.
+func NewSimpleLinear(m *sim.Machine, npri, maxItems int) *SimpleLinear {
+	q := &SimpleLinear{bins: make([]*Bin, npri)}
+	for i := range q.bins {
+		q.bins[i] = NewBin(m, maxItems)
+	}
+	return q
+}
+
+// NumPriorities reports the fixed priority range.
+func (q *SimpleLinear) NumPriorities() int { return len(q.bins) }
+
+// Insert adds val at priority pri.
+func (q *SimpleLinear) Insert(p *sim.Proc, pri int, val uint64) {
+	q.bins[pri].Insert(p, val)
+}
+
+// DeleteMin scans bins from the smallest priority and removes an element
+// from the first non-empty bin it can.
+func (q *SimpleLinear) DeleteMin(p *sim.Proc) (uint64, bool) {
+	for _, b := range q.bins {
+		if b.Empty(p) {
+			continue
+		}
+		if e, ok := b.Delete(p); ok {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+var _ Queue = (*SimpleLinear)(nil)

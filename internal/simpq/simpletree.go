@@ -1,0 +1,82 @@
+package simpq
+
+import "pq/internal/sim"
+
+// SimpleTree is the paper's Figure 3 queue: a complete binary tree with
+// one bin per leaf (priority) and a shared counter in each internal node
+// counting the items in the node's left subtree. delete-min descends from
+// the root using bounded fetch-and-decrement; insert places the item in
+// its leaf bin first and then ascends, incrementing the counter of every
+// ancestor it reaches from the left.
+//
+// The priority range is rounded up to a power of two; surplus leaves are
+// simply never used.
+type SimpleTree struct {
+	npri     int
+	nleaves  int
+	counters []*Counter // 1-based: counters[1] is the root, len = nleaves
+	bins     []*Bin     // one per leaf
+}
+
+// NewSimpleTree builds the tree queue with npri priorities and per-bin
+// capacity maxItems.
+func NewSimpleTree(m *sim.Machine, npri, maxItems int) *SimpleTree {
+	nl := ceilPow2(npri)
+	q := &SimpleTree{
+		npri:     npri,
+		nleaves:  nl,
+		counters: make([]*Counter, nl),
+		bins:     make([]*Bin, nl),
+	}
+	for i := 1; i < nl; i++ {
+		q.counters[i] = NewCounter(m)
+	}
+	for i := 0; i < nl; i++ {
+		q.bins[i] = NewBin(m, maxItems)
+	}
+	return q
+}
+
+// NumPriorities reports the fixed priority range.
+func (q *SimpleTree) NumPriorities() int { return q.npri }
+
+// Insert adds val at priority pri: bin first, then bottom-up counter
+// increments (top-down insertion would race deletions, as the paper
+// notes).
+func (q *SimpleTree) Insert(p *sim.Proc, pri int, val uint64) {
+	q.bins[pri].Insert(p, val)
+	// Tree nodes are numbered heap-style: leaf pri is node nleaves+pri.
+	n := q.nleaves + pri
+	for n > 1 {
+		parent := n / 2
+		if n == 2*parent { // ascending from the left child
+			q.counters[parent].FaI(p)
+		}
+		n = parent
+	}
+}
+
+// DeleteMin descends from the root: a successful bounded decrement means
+// an item is reserved in the left subtree; otherwise go right.
+func (q *SimpleTree) DeleteMin(p *sim.Proc) (uint64, bool) {
+	n := 1
+	for n < q.nleaves {
+		if q.counters[n].BFaD(p, 0) > 0 {
+			n = 2 * n
+		} else {
+			n = 2*n + 1
+		}
+	}
+	return q.bins[n-q.nleaves].Delete(p)
+}
+
+var _ Queue = (*SimpleTree)(nil)
+
+// ceilPow2 returns the smallest power of two >= n (and at least 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,72 @@
+// Package simpq implements, on top of the sim machine, every priority
+// queue the paper evaluates plus the shared-memory substrates they need:
+// MCS queue locks, test-and-set locks, lock-based bins and counters,
+// concurrent heaps (single-lock and Hunt et al.), a bounded-range skip
+// list, and combining funnels with the paper's novel bounded
+// fetch-and-decrement and elimination.
+//
+// Values stored in queues and stacks must fit in 61 bits; the top bits of
+// a simulated word are used for result/state encoding in the funnel
+// protocol.
+package simpq
+
+import "pq/internal/sim"
+
+// MaxValue is the largest value storable in a queue on the simulator.
+const MaxValue = 1<<61 - 1
+
+// Queue is a bounded-range priority queue executing on simulated
+// processors. Implementations are constructed against a *sim.Machine
+// before Run and used by the per-processor programs during Run.
+type Queue interface {
+	// Insert adds val with priority pri in [0, NumPriorities).
+	Insert(p *sim.Proc, pri int, val uint64)
+	// DeleteMin removes and returns an element with the smallest priority,
+	// or ok=false if the queue appears empty.
+	DeleteMin(p *sim.Proc) (val uint64, ok bool)
+	// NumPriorities reports the fixed priority range.
+	NumPriorities() int
+}
+
+// Algorithm names the seven implementations under test.
+type Algorithm string
+
+// The algorithms evaluated by the paper.
+const (
+	AlgSingleLock    Algorithm = "SingleLock"
+	AlgHuntEtAl      Algorithm = "HuntEtAl"
+	AlgSkipList      Algorithm = "SkipList"
+	AlgSimpleLinear  Algorithm = "SimpleLinear"
+	AlgSimpleTree    Algorithm = "SimpleTree"
+	AlgLinearFunnels Algorithm = "LinearFunnels"
+	AlgFunnelTree    Algorithm = "FunnelTree"
+)
+
+// Algorithms lists all implementations in the paper's presentation order.
+var Algorithms = []Algorithm{
+	AlgSingleLock, AlgHuntEtAl, AlgSkipList,
+	AlgSimpleLinear, AlgSimpleTree, AlgLinearFunnels, AlgFunnelTree,
+}
+
+// Build constructs the named queue on machine m with npri priorities and
+// capacity for at most maxItems concurrently queued elements.
+func Build(alg Algorithm, m *sim.Machine, npri, maxItems int) Queue {
+	switch alg {
+	case AlgSingleLock:
+		return NewSingleLock(m, npri, maxItems)
+	case AlgHuntEtAl:
+		return NewHunt(m, npri, maxItems)
+	case AlgSkipList:
+		return NewSkipList(m, npri, maxItems)
+	case AlgSimpleLinear:
+		return NewSimpleLinear(m, npri, maxItems)
+	case AlgSimpleTree:
+		return NewSimpleTree(m, npri, maxItems)
+	case AlgLinearFunnels:
+		return NewLinearFunnels(m, npri, maxItems, DefaultFunnelParams(m.Procs()))
+	case AlgFunnelTree:
+		return NewFunnelTree(m, npri, maxItems, DefaultFunnelParams(m.Procs()))
+	default:
+		panic("simpq: unknown algorithm " + string(alg))
+	}
+}

@@ -1,0 +1,106 @@
+package simpq
+
+import "pq/internal/sim"
+
+// SingleLock is the baseline of Figure 11 (left): a sequential array heap
+// protected in its entirety by one MCS lock. It supports arbitrary
+// priorities and is linearizable.
+type SingleLock struct {
+	npri int
+	lock *MCSLock
+	size sim.Addr
+	pris sim.Addr // 1-based array of priorities
+	vals sim.Addr // 1-based array of values
+	cap  int
+}
+
+// NewSingleLock builds the heap with room for maxItems elements.
+func NewSingleLock(m *sim.Machine, npri, maxItems int) *SingleLock {
+	q := &SingleLock{
+		npri: npri,
+		lock: NewMCSLock(m),
+		size: m.Alloc(1),
+		pris: m.Alloc(maxItems + 1),
+		vals: m.Alloc(maxItems + 1),
+		cap:  maxItems,
+	}
+	m.Label(q.size, 1, "singlelock.size")
+	m.Label(q.pris, maxItems+1, "singlelock.heap")
+	m.Label(q.vals, maxItems+1, "singlelock.heap")
+	return q
+}
+
+// NumPriorities reports the fixed priority range.
+func (q *SingleLock) NumPriorities() int { return q.npri }
+
+func (q *SingleLock) pri(p *sim.Proc, i uint64) uint64 { return p.Read(q.pris + sim.Addr(i)) }
+func (q *SingleLock) val(p *sim.Proc, i uint64) uint64 { return p.Read(q.vals + sim.Addr(i)) }
+func (q *SingleLock) set(p *sim.Proc, i, pr, v uint64) {
+	p.Write(q.pris+sim.Addr(i), pr)
+	p.Write(q.vals+sim.Addr(i), v)
+}
+
+// Insert adds val at priority pri under the global lock, sifting it up
+// with the standard heap algorithm.
+func (q *SingleLock) Insert(p *sim.Proc, pri int, val uint64) {
+	q.lock.Acquire(p)
+	n := p.Read(q.size)
+	if n >= uint64(q.cap) {
+		q.lock.Release(p) // full: drop, mirroring the paper's bins
+		return
+	}
+	n++
+	p.Write(q.size, n)
+	i, pr := n, uint64(pri)
+	for i > 1 {
+		parent := i / 2
+		ppri := q.pri(p, parent)
+		if ppri <= pr {
+			break
+		}
+		q.set(p, i, ppri, q.val(p, parent))
+		i = parent
+	}
+	q.set(p, i, pr, val)
+	q.lock.Release(p)
+}
+
+// DeleteMin removes the root under the global lock and restores the heap
+// by sifting the last element down.
+func (q *SingleLock) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.lock.Acquire(p)
+	n := p.Read(q.size)
+	if n == 0 {
+		q.lock.Release(p)
+		return 0, false
+	}
+	out := q.val(p, 1)
+	lastPri, lastVal := q.pri(p, n), q.val(p, n)
+	p.Write(q.size, n-1)
+	n--
+	if n > 0 {
+		i := uint64(1)
+		for {
+			l, r := 2*i, 2*i+1
+			if l > n {
+				break
+			}
+			child, cpri := l, q.pri(p, l)
+			if r <= n {
+				if rp := q.pri(p, r); rp < cpri {
+					child, cpri = r, rp
+				}
+			}
+			if cpri >= lastPri {
+				break
+			}
+			q.set(p, i, cpri, q.val(p, child))
+			i = child
+		}
+		q.set(p, i, lastPri, lastVal)
+	}
+	q.lock.Release(p)
+	return out, true
+}
+
+var _ Queue = (*SingleLock)(nil)

@@ -1,0 +1,97 @@
+package simpq
+
+import (
+	"fmt"
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// TestSkipListLivelockDiagnostic reproduces the concurrent mixed workload
+// with a low event budget and dumps list state if the simulation
+// livelocks.
+func TestSkipListLivelockDiagnostic(t *testing.T) {
+	cfg := sim.DefaultConfig(16)
+	cfg.MaxEvents = 3_000_000
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perProc = 20
+	q := NewSkipList(m, 8, 16*perProc+1)
+	var trace []string
+	q.trace = &trace
+	bar := newBarrier(m)
+	inserted := make([]int, 16)
+	removed := make([]int, 16)
+	_, err = m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		for i := 0; i < perProc; i++ {
+			if p.Rand(2) == 0 {
+				pri := p.Rand(8)
+				inserted[id]++
+				q.Insert(p, pri, encVal(pri, id, i))
+			} else if _, ok := q.DeleteMin(p); ok {
+				removed[id]++
+			}
+		}
+		bar.wait(p, 1)
+		if id == 0 {
+			for {
+				if _, ok := q.DeleteMin(p); !ok {
+					break
+				}
+				removed[id]++
+			}
+		}
+	})
+	nIns, nRem := 0, 0
+	for i := range inserted {
+		nIns += inserted[i]
+		nRem += removed[i]
+	}
+	if err == nil && nIns != nRem {
+		err = fmt.Errorf("lost items: inserted=%d removed=%d", nIns, nRem)
+	}
+	if err != nil {
+		t.Logf("err=%v delBin=%d delLock=%d", err, m.Word(q.delBin), m.Word(q.delLock.word))
+		for _, pk := range m.ParkedProcs() {
+			kind := "?"
+			for i, l := range q.links {
+				if pk.Addr == l.lstate {
+					kind = "lstate link " + string(rune('0'+i))
+				}
+				if pk.Addr == l.lock.word {
+					kind = "lock link " + string(rune('0'+i))
+				}
+			}
+			if pk.Addr == q.headLock.word {
+				kind = "headLock"
+			}
+			t.Logf("parked: proc=%d addr=%d while=%d (%s) value=%d", pk.Proc, pk.Addr, pk.While, kind, m.Word(pk.Addr))
+		}
+		for lev := q.maxLevel - 1; lev >= 0; lev-- {
+			row := []int{}
+			n := m.Word(q.headFwd + sim.Addr(lev))
+			for n != 0 && len(row) < 20 {
+				row = append(row, int(n-1))
+				n = m.Word(q.links[n-1].fwd + sim.Addr(lev))
+			}
+			t.Logf("level %d: %v", lev, row)
+		}
+		for i, l := range q.links {
+			st := m.Word(l.lstate)
+			lw := m.Word(l.lock.word)
+			sz := m.Word(q.bins[i].size)
+			if st != slUnthreaded || lw != 0 || sz != 0 {
+				t.Logf("link %d: state=%d lock=%d binsize=%d level=%d", i, st, lw, sz, l.level)
+			}
+		}
+		for _, line := range trace {
+			if len(line) > 0 {
+				t.Log(line)
+			}
+		}
+		t.Fatalf("livelocked: %v", err)
+	}
+}

@@ -1,0 +1,350 @@
+package simpq
+
+import (
+	"fmt"
+
+	"pq/internal/sim"
+	"pq/internal/stats"
+)
+
+// WorkloadConfig describes the paper's synthetic benchmark: processors
+// alternate between a small constant amount of local work and a queue
+// access, choosing insert or delete-min by an unbiased coin flip; the
+// queue starts empty; latency is the average number of cycles per access.
+type WorkloadConfig struct {
+	// OpsPerProc is the number of queue accesses each processor performs.
+	OpsPerProc int
+	// LocalWork is the cycles of private work between accesses.
+	LocalWork int64
+	// InsertFraction is the probability an access is an insert (the paper
+	// uses an unbiased coin, 0.5).
+	InsertFraction float64
+	// Prefill inserts this many items (spread across processors) before
+	// measurement begins. The paper's experiments use 0.
+	Prefill int
+	// Seed overrides the machine seed when nonzero.
+	Seed int64
+	// KeepLatencies records every operation's latency so Result carries
+	// full distributions, not just means.
+	KeepLatencies bool
+	// StallEvery injects a StallCycles-long stall into each processor
+	// every StallEvery operations (0 disables) — a model of preemption or
+	// page faults, used to probe how sensitive each algorithm is to
+	// stragglers. Stalls happen mid-protocol: the stalled processor picks
+	// a random point inside its next queue operation... approximated here
+	// by stalling immediately before the operation, which still leaves
+	// the processor holding no locks but absent from combining.
+	StallEvery int
+	// StallCycles is the stall length (default 10x RemoteCost when
+	// StallEvery is set).
+	StallCycles int64
+}
+
+// DefaultWorkload returns the configuration used for the paper's queue
+// experiments.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{OpsPerProc: 60, LocalWork: 50, InsertFraction: 0.5}
+}
+
+// Result aggregates a workload run.
+type Result struct {
+	// MeanAll, MeanInsert and MeanDelete are average latencies in cycles.
+	MeanAll, MeanInsert, MeanDelete float64
+	// Inserts and Deletes count completed operations; FailedDeletes are
+	// delete-min calls that found the queue (apparently) empty.
+	Inserts, Deletes, FailedDeletes int
+	// Stats carries the simulator's run summary.
+	Stats sim.Stats
+	// AllSummary, InsertSummary and DeleteSummary are full latency
+	// distributions, populated when WorkloadConfig.KeepLatencies is set.
+	AllSummary, InsertSummary, DeleteSummary stats.Summary
+}
+
+// barrier is a sense-free arrival barrier on simulated memory for the
+// prefill/measure phase split.
+type barrier struct {
+	count sim.Addr
+	procs uint64
+}
+
+func newBarrier(m *sim.Machine) *barrier {
+	b := &barrier{count: m.Alloc(1), procs: uint64(m.Procs())}
+	m.Label(b.count, 1, "workload.barrier")
+	return b
+}
+
+func (b *barrier) wait(p *sim.Proc, phase uint64) {
+	target := phase * b.procs
+	p.FetchAdd(b.count, 1)
+	for {
+		v := p.Read(b.count)
+		if v >= target {
+			return
+		}
+		if w := p.WaitWhile(b.count, v); w >= target {
+			return
+		}
+	}
+}
+
+// RunWorkload builds the named queue on a fresh machine and drives the
+// paper's benchmark on every processor.
+func RunWorkload(alg Algorithm, procs, npri int, cfg WorkloadConfig) (Result, error) {
+	r, _, err := ProfiledWorkload(alg, procs, npri, cfg, 0)
+	return r, err
+}
+
+// ProfiledWorkload is RunWorkload with the simulator's contention
+// profiler enabled when topN > 0; it returns the topN hottest words.
+func ProfiledWorkload(alg Algorithm, procs, npri int, cfg WorkloadConfig, topN int) (Result, []sim.HotSpot, error) {
+	simCfg := sim.DefaultConfig(procs)
+	simCfg.Profile = topN > 0
+	return WorkloadOnMachine(alg, npri, cfg, simCfg, topN)
+}
+
+// WorkloadOnMachine runs the benchmark with a fully custom machine
+// configuration — the entry point for cost-model sensitivity studies.
+func WorkloadOnMachine(alg Algorithm, npri int, cfg WorkloadConfig, simCfg sim.Config, topN int) (Result, []sim.HotSpot, error) {
+	known := false
+	for _, a := range Algorithms {
+		if a == alg {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Result{}, nil, fmt.Errorf("simpq: unknown algorithm %q", alg)
+	}
+	procs := simCfg.Procs
+	if cfg.Seed != 0 {
+		simCfg.Seed = cfg.Seed
+	}
+	m, err := sim.New(simCfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	maxItems := procs*cfg.OpsPerProc + cfg.Prefill + 1
+	q := Build(alg, m, npri, maxItems)
+	r, err := DriveWorkload(m, q, cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return r, m.HotSpots(topN), nil
+}
+
+// DriveWorkload runs the benchmark against an already built queue. It is
+// split from RunWorkload so harness code can drive custom configurations
+// (ablations, different funnel parameters).
+func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) {
+	procs := m.Procs()
+	npri := q.NumPriorities()
+	bar := newBarrier(m)
+	type procTally struct {
+		insertCycles, deleteCycles int64
+		inserts, deletes, failed   int
+		insLat, delLat             []float64
+	}
+	tallies := make([]procTally, procs)
+
+	simStats, err := m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		// Prefill phase (unmeasured), spread across processors.
+		share := cfg.Prefill / procs
+		if id < cfg.Prefill%procs {
+			share++
+		}
+		for i := 0; i < share; i++ {
+			q.Insert(p, p.Rand(npri), uint64(id)<<32|uint64(i)|1<<60)
+		}
+		bar.wait(p, 1)
+
+		t := &tallies[id]
+		stall := cfg.StallCycles
+		if cfg.StallEvery > 0 && stall == 0 {
+			stall = 10 * sim.DefaultRemoteCost
+		}
+		for i := 0; i < cfg.OpsPerProc; i++ {
+			p.LocalWork(cfg.LocalWork)
+			if cfg.StallEvery > 0 && (i+id)%cfg.StallEvery == cfg.StallEvery-1 {
+				p.LocalWork(stall)
+			}
+			start := p.Now()
+			if float64(p.Rand(1<<16))/(1<<16) < cfg.InsertFraction {
+				q.Insert(p, p.Rand(npri), uint64(id)<<32|uint64(i))
+				lat := p.Now() - start
+				t.insertCycles += lat
+				t.inserts++
+				if cfg.KeepLatencies {
+					t.insLat = append(t.insLat, float64(lat))
+				}
+			} else {
+				_, ok := q.DeleteMin(p)
+				lat := p.Now() - start
+				t.deleteCycles += lat
+				t.deletes++
+				if !ok {
+					t.failed++
+				}
+				if cfg.KeepLatencies {
+					t.delLat = append(t.delLat, float64(lat))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var r Result
+	var insCycles, delCycles int64
+	for i := range tallies {
+		t := &tallies[i]
+		insCycles += t.insertCycles
+		delCycles += t.deleteCycles
+		r.Inserts += t.inserts
+		r.Deletes += t.deletes
+		r.FailedDeletes += t.failed
+	}
+	if r.Inserts > 0 {
+		r.MeanInsert = float64(insCycles) / float64(r.Inserts)
+	}
+	if r.Deletes > 0 {
+		r.MeanDelete = float64(delCycles) / float64(r.Deletes)
+	}
+	if n := r.Inserts + r.Deletes; n > 0 {
+		r.MeanAll = float64(insCycles+delCycles) / float64(n)
+	}
+	if cfg.KeepLatencies {
+		var ins, del, all []float64
+		for i := range tallies {
+			ins = append(ins, tallies[i].insLat...)
+			del = append(del, tallies[i].delLat...)
+		}
+		all = append(append(all, ins...), del...)
+		r.InsertSummary = stats.Summarize(ins)
+		r.DeleteSummary = stats.Summarize(del)
+		r.AllSummary = stats.Summarize(all)
+	}
+	r.Stats = simStats
+	return r, nil
+}
+
+// CounterWorkload drives Figure 5's counter benchmark: every processor
+// performs ops operations on one shared funnel counter, each a decrement
+// with probability decFraction and an increment otherwise. When bounded is
+// false the counter is the plain combining-funnel fetch-and-add baseline.
+func CounterWorkload(procs int, ops int, decFraction float64, bounded bool, localWork int64) (Result, error) {
+	simCfg := sim.DefaultConfig(procs)
+	m, err := sim.New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	c := NewFunnelCounter(m, DefaultFunnelParams(procs), bounded, 0)
+	// Start high enough that a bounded counter under a decrement-heavy
+	// mix does not sit pinned at the bound.
+	m.SetWord(c.main, uint64(procs*ops))
+
+	cycles := make([]int64, procs)
+	counts := make([]int, procs)
+	simStats, err := m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		for i := 0; i < ops; i++ {
+			p.LocalWork(localWork)
+			start := p.Now()
+			if float64(p.Rand(1<<16))/(1<<16) < decFraction {
+				c.BFaD(p)
+			} else {
+				c.FaI(p)
+			}
+			cycles[id] += p.Now() - start
+			counts[id]++
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var total int64
+	var n int
+	for i := range cycles {
+		total += cycles[i]
+		n += counts[i]
+	}
+	return Result{MeanAll: float64(total) / float64(n), Stats: simStats}, nil
+}
+
+// SojournResult reports how long delivered items sat in the queue —
+// the fairness measure behind the paper's Section 3.2 stack-vs-FIFO
+// discussion (LIFO bins can starve old items of equal priority).
+type SojournResult struct {
+	// Latency is the usual access-latency result.
+	Latency Result
+	// Sojourn summarizes (delete time - insert time) over delivered
+	// items, in cycles.
+	Sojourn stats.Summary
+}
+
+// SojournWorkload drives the standard benchmark against q, stamping each
+// inserted value with its insertion cycle so deletions can measure how
+// long items waited.
+func SojournWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (SojournResult, error) {
+	procs := m.Procs()
+	npri := q.NumPriorities()
+	bar := newBarrier(m)
+	sojourns := make([][]float64, procs)
+	type tally struct {
+		cycles            int64
+		ins, dels, failed int
+	}
+	tallies := make([]tally, procs)
+
+	simStats, err := m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		bar.wait(p, 1)
+		t := &tallies[id]
+		stall := cfg.StallCycles
+		if cfg.StallEvery > 0 && stall == 0 {
+			stall = 10 * sim.DefaultRemoteCost
+		}
+		for i := 0; i < cfg.OpsPerProc; i++ {
+			p.LocalWork(cfg.LocalWork)
+			if cfg.StallEvery > 0 && (i+id)%cfg.StallEvery == cfg.StallEvery-1 {
+				p.LocalWork(stall)
+			}
+			start := p.Now()
+			if float64(p.Rand(1<<16))/(1<<16) < cfg.InsertFraction {
+				q.Insert(p, p.Rand(npri), uint64(start))
+				t.ins++
+			} else {
+				v, ok := q.DeleteMin(p)
+				t.dels++
+				if ok {
+					sojourns[id] = append(sojourns[id], float64(p.Now()-int64(v)))
+				} else {
+					t.failed++
+				}
+			}
+			t.cycles += p.Now() - start
+		}
+	})
+	if err != nil {
+		return SojournResult{}, err
+	}
+	var r SojournResult
+	var all []float64
+	for i := range tallies {
+		r.Latency.Inserts += tallies[i].ins
+		r.Latency.Deletes += tallies[i].dels
+		r.Latency.FailedDeletes += tallies[i].failed
+		all = append(all, sojourns[i]...)
+	}
+	var cyc int64
+	for i := range tallies {
+		cyc += tallies[i].cycles
+	}
+	if n := r.Latency.Inserts + r.Latency.Deletes; n > 0 {
+		r.Latency.MeanAll = float64(cyc) / float64(n)
+	}
+	r.Latency.Stats = simStats
+	r.Sojourn = stats.Summarize(all)
+	return r, nil
+}

@@ -1,0 +1,180 @@
+// Package pq provides scalable concurrent bounded-range priority queues
+// for Go, reproducing "Scalable Concurrent Priority Queue Algorithms"
+// (Shavit & Zemach, PODC 1999).
+//
+// A bounded-range priority queue supports a fixed set of priorities
+// 0..N-1 (smaller is more urgent), the shape found in OS schedulers and
+// QoS systems. Seven implementations are provided — the five baselines
+// the paper evaluates and its two contributions:
+//
+//   - SingleLock: a sequential heap under one MCS queue lock.
+//   - HuntEtAl: the concurrent heap of Hunt et al. (fine-grained node
+//     locks, bit-reversed insertions).
+//   - SkipList: a bounded-range Pugh skip list with a delete-bin.
+//   - SimpleLinear: an array of lock-based bins, scanned on delete-min.
+//   - SimpleTree: a binary tree of counters over bins, descended with
+//     bounded fetch-and-decrement.
+//   - LinearFunnels: SimpleLinear with combining-funnel stacks as bins.
+//   - FunnelTree: SimpleTree with combining-funnel counters at the hot
+//     top levels and funnel stacks as bins.
+//
+// SingleLock, HuntEtAl, SkipList and SimpleLinear are linearizable;
+// SimpleTree, LinearFunnels and FunnelTree are quiescently consistent:
+// overlapping operations may reorder, but between quiescent points the
+// queue behaves exactly like a sequential priority queue. Under low
+// contention prefer SimpleLinear (few priorities) or SimpleTree (many);
+// under heavy multicore contention the funnel-based queues are the
+// scalable choice — that trade-off is the paper's central result.
+//
+// The internal/sim and internal/simpq packages contain a deterministic
+// ccNUMA multiprocessor simulator and simulator-hosted versions of the
+// same algorithms, used to regenerate the paper's figures (see
+// cmd/pqbench and EXPERIMENTS.md).
+package pq
+
+import (
+	"pq/internal/core"
+	"pq/internal/funnel"
+)
+
+// Queue is a bounded-range concurrent priority queue over values of type
+// V. Priorities are integers in [0, NumPriorities()); smaller is more
+// urgent. All methods are safe for concurrent use.
+type Queue[V any] interface {
+	// Insert adds v with the given priority. It panics if pri is out of
+	// range, like an out-of-range slice index.
+	Insert(pri int, v V)
+	// DeleteMin removes and returns an element with the smallest
+	// priority, or ok=false if the queue appears empty.
+	DeleteMin() (v V, ok bool)
+	// NumPriorities reports the fixed priority range.
+	NumPriorities() int
+}
+
+// Algorithm selects a queue implementation.
+type Algorithm = core.Algorithm
+
+// The seven algorithms from the paper.
+const (
+	SingleLock    = core.SingleLock
+	HuntEtAl      = core.HuntEtAl
+	SkipList      = core.SkipList
+	SimpleLinear  = core.SimpleLinear
+	SimpleTree    = core.SimpleTree
+	LinearFunnels = core.LinearFunnels
+	FunnelTree    = core.FunnelTree
+)
+
+// Algorithms lists every implementation in the paper's order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, len(core.Algorithms))
+	copy(out, core.Algorithms)
+	return out
+}
+
+// FunnelParams tunes the combining funnels used by LinearFunnels and
+// FunnelTree; see the fields of funnel.Params.
+type FunnelParams = funnel.Params
+
+// Option customizes queue construction.
+type Option func(*core.Config)
+
+// WithConcurrency sets the expected number of contending goroutines,
+// which sizes the funnel combining layers. The default is
+// runtime.GOMAXPROCS(0).
+func WithConcurrency(n int) Option {
+	return func(c *core.Config) { c.Concurrency = n }
+}
+
+// WithFunnelParams overrides funnel tuning entirely.
+func WithFunnelParams(p FunnelParams) Option {
+	return func(c *core.Config) { c.FunnelParams = &p }
+}
+
+// WithFunnelCutoff sets how many tree levels from the root use funnel
+// counters in FunnelTree (the paper uses 4; deeper counters see little
+// traffic and use plain atomics).
+func WithFunnelCutoff(levels int) Option {
+	return func(c *core.Config) { c.FunnelCutoff = levels }
+}
+
+// WithFIFOBins makes every queue serve items of equal priority
+// first-in-first-out — the fairness trade-off of the paper's Section
+// 3.2. SimpleLinear and SimpleTree switch to FIFO bins; the funnel-based
+// queues use the hybrid the paper suggests there: elimination still
+// happens in the funnel, but the central storage is FIFO.
+func WithFIFOBins() Option {
+	return func(c *core.Config) { c.FIFOBins = true }
+}
+
+// New builds a queue with the given algorithm and priority range.
+func New[V any](alg Algorithm, priorities int, opts ...Option) (Queue[V], error) {
+	cfg := core.Config{Priorities: priorities}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.New[V](alg, cfg)
+}
+
+// NewFunnelTree builds the paper's most scalable queue, FunnelTree. It is
+// the recommended default for heavily contended queues with more than a
+// handful of priorities.
+func NewFunnelTree[V any](priorities int, opts ...Option) (Queue[V], error) {
+	return New[V](FunnelTree, priorities, opts...)
+}
+
+// NewLinearFunnels builds LinearFunnels, the scalable choice for very
+// small priority ranges (the paper suggests 4 or fewer).
+func NewLinearFunnels[V any](priorities int, opts ...Option) (Queue[V], error) {
+	return New[V](LinearFunnels, priorities, opts...)
+}
+
+// Counter is a combining-funnel shared counter (fetch-and-increment and
+// bounded fetch-and-decrement with elimination) — the paper's Section 3.3
+// primitive, exposed because it is useful on its own (semaphore-like
+// admission counters, bounded resource pools).
+type Counter = funnel.Counter
+
+// NewCounter builds a funnel counter with the given initial value. If
+// bounded, decrements never take the value below bound and reversing
+// operations eliminate.
+func NewCounter(initial int64, bounded bool, bound int64, opts ...Option) *Counter {
+	cfg := core.Config{Priorities: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var params funnel.Params
+	if cfg.FunnelParams != nil {
+		params = *cfg.FunnelParams
+	} else {
+		conc := cfg.Concurrency
+		if conc <= 0 {
+			conc = defaultConcurrency()
+		}
+		params = funnel.DefaultParams(conc)
+	}
+	return funnel.NewCounter(params, initial, bounded, bound)
+}
+
+// Stack is a combining-funnel stack with elimination, exposed for the
+// same reason: it is the paper's scalable bin.
+type Stack[V any] = funnel.Stack[V]
+
+// NewStack builds an empty funnel stack.
+func NewStack[V any](opts ...Option) *Stack[V] {
+	cfg := core.Config{Priorities: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var params funnel.Params
+	if cfg.FunnelParams != nil {
+		params = *cfg.FunnelParams
+	} else {
+		conc := cfg.Concurrency
+		if conc <= 0 {
+			conc = defaultConcurrency()
+		}
+		params = funnel.DefaultParams(conc)
+	}
+	return funnel.NewStack[V](params)
+}

@@ -1,0 +1,189 @@
+package pq_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"pq"
+)
+
+func TestNewAllAlgorithms(t *testing.T) {
+	for _, alg := range pq.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			q, err := pq.New[string](alg, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.Insert(3, "c")
+			q.Insert(1, "a")
+			q.Insert(5, "e")
+			var got []string
+			for {
+				v, ok := q.DeleteMin()
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+			want := []string{"a", "c", "e"}
+			if len(got) != len(want) {
+				t.Fatalf("drained %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("drained %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := pq.New[int](pq.FunnelTree, 0); err == nil {
+		t.Error("priorities=0 accepted")
+	}
+	if _, err := pq.New[int]("nope", 8); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	q, err := pq.NewFunnelTree[int](16,
+		pq.WithConcurrency(4),
+		pq.WithFunnelCutoff(2),
+		pq.WithFunnelParams(pq.FunnelParams{Widths: []int{2}, Attempts: 2, Spin: []int{8}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Insert(7, 7)
+	if v, ok := q.DeleteMin(); !ok || v != 7 {
+		t.Fatalf("DeleteMin = (%d,%v)", v, ok)
+	}
+}
+
+func TestConcurrentUseThroughPublicAPI(t *testing.T) {
+	q, err := pq.NewFunnelTree[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	var deleted [goroutines][]int
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					q.Insert((i+g)%8, g*perG+i)
+				} else if v, ok := q.DeleteMin(); ok {
+					deleted[g] = append(deleted[g], v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	n := 0
+	for g := range deleted {
+		for _, v := range deleted[g] {
+			if seen[v] {
+				t.Fatalf("duplicate delivery %d", v)
+			}
+			seen[v] = true
+			n++
+		}
+	}
+	for {
+		v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate delivery %d in drain", v)
+		}
+		seen[v] = true
+		n++
+	}
+	if n != goroutines*perG/2 {
+		t.Fatalf("recovered %d items, want %d", n, goroutines*perG/2)
+	}
+}
+
+func TestPublicCounter(t *testing.T) {
+	c := pq.NewCounter(5, true, 0)
+	if got := c.FaD(); got != 5 {
+		t.Fatalf("FaD = %d, want 5", got)
+	}
+	if got := c.FaI(); got != 4 {
+		t.Fatalf("FaI = %d, want 4", got)
+	}
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestPublicStack(t *testing.T) {
+	s := pq.NewStack[string]()
+	s.Push("x")
+	s.Push("y")
+	if v, ok := s.Pop(); !ok || v != "y" {
+		t.Fatalf("Pop = (%q,%v)", v, ok)
+	}
+	if v, ok := s.Pop(); !ok || v != "x" {
+		t.Fatalf("Pop = (%q,%v)", v, ok)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+}
+
+func TestDrainOrderAllAlgorithmsAfterConcurrency(t *testing.T) {
+	// After concurrent inserts complete, a sequential drain must be
+	// sorted for the strictly ordered algorithms and a complete multiset
+	// for all.
+	for _, alg := range pq.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			const npri = 16
+			q, err := pq.New[int](alg, npri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			const goroutines = 6
+			const perG = 200
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						pri := (i*7 + g) % npri
+						q.Insert(pri, pri)
+					}
+				}()
+			}
+			wg.Wait()
+			var pris []int
+			for {
+				v, ok := q.DeleteMin()
+				if !ok {
+					break
+				}
+				pris = append(pris, v)
+			}
+			if len(pris) != goroutines*perG {
+				t.Fatalf("drained %d, want %d", len(pris), goroutines*perG)
+			}
+			if alg != pq.SkipList && alg != pq.HuntEtAl && !sort.IntsAreSorted(pris) {
+				t.Fatalf("%s: drain not sorted", alg)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package simulator
+
+import "testing"
+
+func TestCustomMachineProgram(t *testing.T) {
+	mc, err := NewMachine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mc.NewQueue(FunnelTree, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, 4)
+	st, err := mc.Run(func(p *Proc) {
+		id := p.ID()
+		for i := 0; i < 5; i++ {
+			q.Insert(p, (i+id)%8, uint64(id*10+i)|1<<20)
+		}
+		for {
+			if _, ok := q.DeleteMin(p); !ok {
+				break
+			}
+			got[id]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimulatedCycles <= 0 || st.Events <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("drained %d items, want 20", total)
+	}
+}
+
+func TestCustomMachineValidation(t *testing.T) {
+	if _, err := NewMachine(0); err == nil {
+		t.Error("0 processors accepted")
+	}
+	mc, err := NewMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.NewQueue("bogus", 4, 8); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := mc.NewQueue(SimpleLinear, 0, 8); err == nil {
+		t.Error("npri=0 accepted")
+	}
+	if _, err := mc.Run(func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.NewQueue(SimpleLinear, 4, 8); err == nil {
+		t.Error("NewQueue after Run accepted")
+	}
+}
+
+func TestCustomMachineCostConfig(t *testing.T) {
+	mc, err := NewMachineConfig(MachineConfig{Procs: 1, RemoteCost: 100, LocalCost: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mc.NewQueue(SimpleLinear, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed int64
+	if _, err := mc.Run(func(p *Proc) {
+		t0 := p.Now()
+		q.Insert(p, 0, 1)
+		elapsed = p.Now() - t0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("no simulated time elapsed")
+	}
+}

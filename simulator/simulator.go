@@ -1,0 +1,151 @@
+// Package simulator exposes the deterministic ccNUMA multiprocessor
+// simulation used to reproduce the paper's evaluation: build a machine
+// configuration, pick an algorithm and workload, and measure latency in
+// simulated cycles, free of host-scheduler noise.
+//
+// This is the measurement instrument; the root package pq is the
+// adoptable native library.
+package simulator
+
+import (
+	"fmt"
+
+	"pq/internal/harness"
+	"pq/internal/simpq"
+	"pq/internal/stats"
+)
+
+// Algorithm names a queue implementation on the simulator.
+type Algorithm = simpq.Algorithm
+
+// The seven algorithms from the paper.
+const (
+	SingleLock    = simpq.AlgSingleLock
+	HuntEtAl      = simpq.AlgHuntEtAl
+	SkipList      = simpq.AlgSkipList
+	SimpleLinear  = simpq.AlgSimpleLinear
+	SimpleTree    = simpq.AlgSimpleTree
+	LinearFunnels = simpq.AlgLinearFunnels
+	FunnelTree    = simpq.AlgFunnelTree
+)
+
+// Algorithms lists every implementation in the paper's order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, len(simpq.Algorithms))
+	copy(out, simpq.Algorithms)
+	return out
+}
+
+// Workload describes the paper's synthetic benchmark; the zero value
+// selects the defaults used for the paper's figures.
+type Workload struct {
+	// OpsPerProc is the number of queue accesses per processor
+	// (default 60).
+	OpsPerProc int
+	// LocalWork is cycles of private work between accesses (default 50).
+	LocalWork int64
+	// InsertFraction is the probability an access inserts (default 0.5,
+	// the paper's unbiased coin).
+	InsertFraction float64
+	// Seed makes runs reproducible; zero selects the default seed.
+	Seed int64
+	// KeepLatencies records every operation's latency so the Result
+	// carries full distributions in addition to means.
+	KeepLatencies bool
+}
+
+// LatencySummary holds order statistics of per-operation latencies, in
+// simulated cycles.
+type LatencySummary struct {
+	Count              int
+	Mean               float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Result reports measured latencies in simulated cycles.
+type Result struct {
+	MeanAll, MeanInsert, MeanDelete float64
+	Inserts, Deletes, FailedDeletes int
+	SimulatedCycles                 int64
+	Events                          int64
+	// Distributions are populated when Workload.KeepLatencies is set.
+	All, Insert, Delete LatencySummary
+}
+
+// Run builds the named queue on a fresh simulated machine with procs
+// processors and npri priorities and drives the workload on every
+// processor.
+func Run(alg Algorithm, procs, npri int, w Workload) (Result, error) {
+	known := false
+	for _, a := range simpq.Algorithms {
+		if a == alg {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Result{}, fmt.Errorf("simulator: unknown algorithm %q", alg)
+	}
+	cfg := simpq.DefaultWorkload()
+	if w.OpsPerProc > 0 {
+		cfg.OpsPerProc = w.OpsPerProc
+	}
+	if w.LocalWork > 0 {
+		cfg.LocalWork = w.LocalWork
+	}
+	if w.InsertFraction > 0 {
+		cfg.InsertFraction = w.InsertFraction
+	}
+	cfg.Seed = w.Seed
+	cfg.KeepLatencies = w.KeepLatencies
+	r, err := simpq.RunWorkload(alg, procs, npri, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("simulator: %w", err)
+	}
+	conv := func(s stats.Summary) LatencySummary {
+		return LatencySummary{
+			Count: s.Count, Mean: s.Mean, Min: s.Min, Max: s.Max,
+			P50: s.P50, P90: s.P90, P95: s.P95, P99: s.P99,
+		}
+	}
+	return Result{
+		MeanAll:         r.MeanAll,
+		MeanInsert:      r.MeanInsert,
+		MeanDelete:      r.MeanDelete,
+		Inserts:         r.Inserts,
+		Deletes:         r.Deletes,
+		FailedDeletes:   r.FailedDeletes,
+		SimulatedCycles: r.Stats.FinalTime,
+		Events:          r.Stats.Events,
+		All:             conv(r.AllSummary),
+		Insert:          conv(r.InsertSummary),
+		Delete:          conv(r.DeleteSummary),
+	}, nil
+}
+
+// Experiment identifies one of the paper's figures or tables; see
+// Experiments for the available ids.
+type Experiment = harness.Experiment
+
+// Experiments returns every paper experiment (figures 5-9 plus
+// ablations), runnable at a chosen scale.
+func Experiments() []*Experiment { return harness.All() }
+
+// ExperimentByID finds an experiment (e.g. "fig7").
+func ExperimentByID(id string) (*Experiment, error) { return harness.ByID(id) }
+
+// StructureContention is one row of a contention profile: where an
+// algorithm's wait cycles concentrate.
+type StructureContention = harness.StructureContention
+
+// ContentionReport is a per-structure contention breakdown for one run.
+type ContentionReport = harness.ContentionReport
+
+// ProfileContention runs the paper's workload with the simulator's
+// contention profiler enabled and aggregates wait cycles per labeled
+// structure — the paper's hot-spot analysis as an API. scale in (0,1]
+// shrinks the workload.
+func ProfileContention(alg Algorithm, procs, npri int, scale float64) (*ContentionReport, error) {
+	return harness.ProfileContention(alg, procs, npri, scale)
+}

@@ -1,0 +1,90 @@
+package simulator
+
+import "testing"
+
+func TestRunSmallExperiment(t *testing.T) {
+	r, err := Run(FunnelTree, 4, 8, Workload{OpsPerProc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanAll <= 0 {
+		t.Fatalf("MeanAll = %f", r.MeanAll)
+	}
+	if r.Inserts+r.Deletes != 4*10 {
+		t.Fatalf("ops = %d, want 40", r.Inserts+r.Deletes)
+	}
+	if r.SimulatedCycles <= 0 || r.Events <= 0 {
+		t.Fatalf("missing stats: %+v", r)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := Workload{OpsPerProc: 15, Seed: 7}
+	a, err := Run(SimpleLinear, 8, 16, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(SimpleLinear, 8, 16, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAlgorithmsComplete(t *testing.T) {
+	if len(Algorithms()) != 7 {
+		t.Fatalf("Algorithms() = %d entries, want 7", len(Algorithms()))
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments()) < 6 {
+		t.Fatalf("missing experiments: %d", len(Experiments()))
+	}
+	if _, err := ExperimentByID("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExperimentByID("bogus"); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if _, err := Run(FunnelTree, 0, 8, Workload{}); err == nil {
+		t.Fatal("0 processors accepted")
+	}
+	if _, err := Run("nonsense", 4, 8, Workload{}); err == nil {
+		// Build panics on unknown algorithms inside the machine goroutine;
+		// reaching here means it returned an error instead, which is fine
+		// too — but it must not succeed.
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestProfileContentionPublicAPI(t *testing.T) {
+	rep, err := ProfileContention(SimpleTree, 8, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("empty contention report")
+	}
+	if rep.Algorithm != SimpleTree || rep.Procs != 8 || rep.Pris != 4 {
+		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+}
+
+func TestRunWithLatencyDistributions(t *testing.T) {
+	r, err := Run(SimpleLinear, 4, 8, Workload{OpsPerProc: 15, KeepLatencies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.All.Count != r.Inserts+r.Deletes {
+		t.Fatalf("distribution count %d, want %d", r.All.Count, r.Inserts+r.Deletes)
+	}
+	if r.All.P99 < r.All.P50 || r.All.P50 <= 0 {
+		t.Fatalf("implausible percentiles: %+v", r.All)
+	}
+}

@@ -1,0 +1,5 @@
+package pq
+
+import "runtime"
+
+func defaultConcurrency() int { return runtime.GOMAXPROCS(0) }
