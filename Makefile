@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick examples vet fmt
+.PHONY: all build test race bench repro repro-quick chaos-quick examples vet fmt
 
 all: build test
 
@@ -31,6 +31,11 @@ repro:
 # Same, at a quarter of the per-processor operation count (~seconds).
 repro-quick:
 	$(GO) run ./cmd/pqbench -experiment all -scale 0.25
+
+# Fault-injection matrix: every algorithm under stalls, module
+# degradation and crash-stop, with history checking (~seconds).
+chaos-quick:
+	$(GO) run ./cmd/pqbench -chaos -scale 0.25
 
 examples:
 	$(GO) run ./examples/quickstart

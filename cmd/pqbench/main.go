@@ -37,6 +37,7 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list available experiments")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 		contention = fs.String("contention", "", "profile contention for this algorithm instead of running an experiment")
+		chaos      = fs.Bool("chaos", false, "run the chaos/fault-injection matrix over all algorithms instead of an experiment")
 		doPlot     = fs.Bool("plot", false, "also draw an ASCII chart of each experiment's series")
 		procs      = fs.Int("procs", 256, "processors for -contention")
 		pris       = fs.Int("pris", 16, "priorities for -contention")
@@ -58,12 +59,27 @@ func run(args []string) error {
 		rep.Render(os.Stdout)
 		return nil
 	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1], got %g", *scale)
+	}
+	if *chaos {
+		progress := func(msg string) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+			}
+		}
+		start := time.Now()
+		rep, err := harness.RunChaos(*scale, progress)
+		if err != nil {
+			return err
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("(%d cells in %.1fs)\n", len(rep.Cells), time.Since(start).Seconds())
+		return nil
+	}
 	if *expID == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -experiment (or use -list)")
-	}
-	if *scale <= 0 || *scale > 1 {
-		return fmt.Errorf("-scale must be in (0,1], got %g", *scale)
 	}
 
 	var exps []*harness.Experiment

@@ -17,6 +17,11 @@
 //
 // Timestamps must come from a single monotonic source (the simulator's
 // cycle clock, or host time under careful use).
+//
+// Histories truncated by processor crashes are checked with
+// CheckTruncated: operations that were in flight when their processor
+// died are passed as PendingOps and treated as possibly linearized, so
+// safety for the surviving processors can still be proved.
 package order
 
 import (
@@ -57,9 +62,51 @@ type Violation struct {
 
 func (v Violation) Error() string { return v.Rule + ": " + v.Detail }
 
-// Check verifies the history and returns all detected violations.
+// PendingOp is an operation that had started but never completed — its
+// processor crashed (or the run was aborted) mid-operation. A pending
+// operation may or may not have taken effect, so the checker treats it
+// as possibly linearized at any point from Start onward:
+//
+//   - a pending Insert's value may legitimately be returned by a
+//     completed DeleteMin (it is not an "alien" value), but it cannot
+//     serve as a witness that the queue was non-empty;
+//   - each pending DeleteMin may have silently consumed one value, so a
+//     value only counts as "definitely present" when there are more
+//     such values than pending deletes that could have taken them.
+type PendingOp struct {
+	Kind Kind
+	// Pri and Val describe a pending Insert; they are ignored for a
+	// pending DeleteMin (whose would-be return value is unknowable).
+	Pri int
+	Val uint64
+	// Start is when the operation began.
+	Start int64
+}
+
+// Check verifies a complete history and returns all detected violations.
 func Check(history []Op) []Violation {
+	return CheckTruncated(history, nil)
+}
+
+// CheckTruncated verifies a crash-truncated history: ops completed by
+// surviving (or crashed-later) processors, plus the operations that were
+// in flight when their processors died. Violations are still sound —
+// every report is a real inconsistency under every possible linearization
+// of the pending operations.
+func CheckTruncated(history []Op, pending []PendingOp) []Violation {
 	var out []Violation
+
+	pendingInserts := map[uint64]*PendingOp{}
+	var pendingDeletes []*PendingOp
+	for i := range pending {
+		po := &pending[i]
+		switch po.Kind {
+		case Insert:
+			pendingInserts[po.Val] = po
+		case DeleteMin:
+			pendingDeletes = append(pendingDeletes, po)
+		}
+	}
 
 	inserts := map[uint64]*Op{}
 	removes := map[uint64]*Op{}
@@ -96,10 +143,22 @@ func Check(history []Op) []Violation {
 		}
 	}
 
-	// Precedence and alien values.
+	// Precedence and alien values. A value whose Insert was pending at a
+	// crash may have linearized, so returning it is legal — but only
+	// after the pending Insert began.
 	for val, del := range removes {
 		ins, ok := inserts[val]
 		if !ok {
+			if pi, wasPending := pendingInserts[val]; wasPending {
+				if del.End < pi.Start {
+					out = append(out, Violation{
+						Rule: "precedence",
+						Detail: fmt.Sprintf("value %#x returned by a delete ending at %d before its crashed insert began at %d",
+							val, del.End, pi.Start),
+					})
+				}
+				continue
+			}
 			out = append(out, Violation{
 				Rule:   "uniqueness",
 				Detail: fmt.Sprintf("value %#x returned but never inserted", val),
@@ -131,6 +190,18 @@ func Check(history []Op) []Violation {
 		if d.OK {
 			limit = d.Pri
 		}
+		// Each pending DeleteMin that began before D ended may have
+		// linearized inside D's window and consumed one witness, so a
+		// violation needs strictly more witnesses than such deletes.
+		excused := 0
+		for _, pd := range pendingDeletes {
+			if pd.Start <= d.End {
+				excused++
+			}
+		}
+		witnesses := 0
+		var witVal uint64
+		var witIns *Op
 		for val, ins := range inserts {
 			if ins.Pri >= limit && d.OK {
 				continue
@@ -144,20 +215,27 @@ func Check(history []Op) []Violation {
 			if d.OK && val == d.Val {
 				continue
 			}
-			if d.OK {
-				out = append(out, Violation{
-					Rule: "priority",
-					Detail: fmt.Sprintf("delete [%d,%d] returned pri %d but value %#x (pri %d) was definitely present",
-						d.Start, d.End, d.Pri, val, ins.Pri),
-				})
-			} else {
-				out = append(out, Violation{
-					Rule: "emptiness",
-					Detail: fmt.Sprintf("delete [%d,%d] reported empty but value %#x (pri %d) was definitely present",
-						d.Start, d.End, val, ins.Pri),
-				})
+			if witnesses == 0 {
+				witVal, witIns = val, ins
 			}
-			break // one witness per delete keeps reports readable
+			witnesses++
+		}
+		if witnesses <= excused {
+			continue
+		}
+		// One witness per delete keeps reports readable.
+		if d.OK {
+			out = append(out, Violation{
+				Rule: "priority",
+				Detail: fmt.Sprintf("delete [%d,%d] returned pri %d but value %#x (pri %d) was definitely present",
+					d.Start, d.End, d.Pri, witVal, witIns.Pri),
+			})
+		} else {
+			out = append(out, Violation{
+				Rule: "emptiness",
+				Detail: fmt.Sprintf("delete [%d,%d] reported empty but value %#x (pri %d) was definitely present",
+					d.Start, d.End, witVal, witIns.Pri),
+			})
 		}
 	}
 	return out

@@ -103,6 +103,165 @@ func TestMalformedInterval(t *testing.T) {
 	requireRule(t, Check(h), "well-formed")
 }
 
+func TestEmptinessDirectCases(t *testing.T) {
+	// Condition 4, exercised beyond the single-item case: the failed
+	// delete must be excused only by removals that overlap it.
+	t.Run("witness survives an earlier removal of a different value", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: Insert, Pri: 2, Val: 2, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+			// Value 2 is still definitely present here.
+			{Kind: DeleteMin, OK: false, Start: 5, End: 6},
+		}
+		requireRule(t, Check(h), "emptiness")
+	})
+	t.Run("empty is fine once every value was removed before", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: Insert, Pri: 2, Val: 2, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+			{Kind: DeleteMin, Pri: 2, Val: 2, OK: true, Start: 2, End: 3},
+			{Kind: DeleteMin, OK: false, Start: 5, End: 6},
+		}
+		if vs := Check(h); len(vs) != 0 {
+			t.Fatalf("drained-queue empty flagged: %v", vs)
+		}
+	})
+	t.Run("failed delete before any insert completes is fine", func(t *testing.T) {
+		h := []Op{
+			{Kind: DeleteMin, OK: false, Start: 0, End: 1},
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+		}
+		if vs := Check(h); len(vs) != 0 {
+			t.Fatalf("early empty flagged: %v", vs)
+		}
+	})
+}
+
+func TestDoubleReturnAndNeverInsertedDirect(t *testing.T) {
+	t.Run("double return across disjoint windows", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 4, Val: 11, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 4, Val: 11, OK: true, Start: 10, End: 12},
+			{Kind: DeleteMin, Pri: 4, Val: 11, OK: true, Start: 100, End: 101},
+		}
+		requireRule(t, Check(h), "uniqueness")
+	})
+	t.Run("double return with overlapping windows", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 4, Val: 11, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 4, Val: 11, OK: true, Start: 10, End: 20},
+			{Kind: DeleteMin, Pri: 4, Val: 11, OK: true, Start: 12, End: 18},
+		}
+		requireRule(t, Check(h), "uniqueness")
+	})
+	t.Run("never-inserted value among legitimate traffic", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+			{Kind: DeleteMin, Pri: 7, Val: 0xdead, OK: true, Start: 2, End: 3},
+		}
+		requireRule(t, Check(h), "uniqueness")
+	})
+	t.Run("double insert of one value", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+		}
+		requireRule(t, Check(h), "uniqueness")
+	})
+}
+
+func TestCrashTruncatedPendingInsertAccepted(t *testing.T) {
+	// A processor crashed mid-Insert; the value nevertheless surfaced in
+	// a survivor's DeleteMin. The pending Insert possibly linearized, so
+	// the history must be accepted.
+	h := []Op{
+		{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, Pri: 1, Val: 1, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 3, Val: 77, OK: true, Start: 10, End: 12},
+	}
+	pending := []PendingOp{{Kind: Insert, Pri: 3, Val: 77, Start: 5}}
+	if vs := CheckTruncated(h, pending); len(vs) != 0 {
+		t.Fatalf("pending-insert history flagged: %v", vs)
+	}
+	// Without the pending op, the same history is an alien-value
+	// violation — the truncation handling is what accepts it.
+	requireRule(t, Check(h), "uniqueness")
+}
+
+func TestCrashTruncatedPendingInsertRules(t *testing.T) {
+	t.Run("returned before the pending insert began", func(t *testing.T) {
+		h := []Op{
+			{Kind: DeleteMin, Pri: 3, Val: 77, OK: true, Start: 0, End: 1},
+		}
+		pending := []PendingOp{{Kind: Insert, Pri: 3, Val: 77, Start: 5}}
+		requireRule(t, CheckTruncated(h, pending), "precedence")
+	})
+	t.Run("pending insert is no emptiness witness", func(t *testing.T) {
+		// Only a pending (possibly never-linearized) insert precedes the
+		// failed delete: reporting empty is consistent.
+		h := []Op{
+			{Kind: DeleteMin, OK: false, Start: 10, End: 11},
+		}
+		pending := []PendingOp{{Kind: Insert, Pri: 0, Val: 5, Start: 0}}
+		if vs := CheckTruncated(h, pending); len(vs) != 0 {
+			t.Fatalf("pending insert used as witness: %v", vs)
+		}
+	})
+	t.Run("pending insert returned twice is still a violation", func(t *testing.T) {
+		h := []Op{
+			{Kind: DeleteMin, Pri: 3, Val: 77, OK: true, Start: 10, End: 11},
+			{Kind: DeleteMin, Pri: 3, Val: 77, OK: true, Start: 20, End: 21},
+		}
+		pending := []PendingOp{{Kind: Insert, Pri: 3, Val: 77, Start: 5}}
+		requireRule(t, CheckTruncated(h, pending), "uniqueness")
+	})
+}
+
+func TestCrashTruncatedPendingDeletes(t *testing.T) {
+	base := []Op{
+		{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, OK: false, Start: 10, End: 11},
+	}
+	t.Run("one pending delete excuses one missing value", func(t *testing.T) {
+		pending := []PendingOp{{Kind: DeleteMin, Start: 5}}
+		if vs := CheckTruncated(base, pending); len(vs) != 0 {
+			t.Fatalf("excusable empty flagged: %v", vs)
+		}
+	})
+	t.Run("a pending delete started later excuses nothing", func(t *testing.T) {
+		pending := []PendingOp{{Kind: DeleteMin, Start: 50}}
+		requireRule(t, CheckTruncated(base, pending), "emptiness")
+	})
+	t.Run("more witnesses than pending deletes is still a violation", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 1, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: Insert, Pri: 2, Val: 2, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, OK: false, Start: 10, End: 11},
+		}
+		pending := []PendingOp{{Kind: DeleteMin, Start: 5}}
+		requireRule(t, CheckTruncated(h, pending), "emptiness")
+	})
+	t.Run("pending delete excuses a priority witness too", func(t *testing.T) {
+		h := []Op{
+			{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 0, End: 1},
+			{Kind: Insert, Pri: 5, Val: 2, OK: true, Start: 0, End: 1},
+			{Kind: DeleteMin, Pri: 5, Val: 2, OK: true, Start: 10, End: 11},
+			{Kind: DeleteMin, Pri: 0, Val: 1, OK: true, Start: 20, End: 21},
+		}
+		requireRule(t, Check(h), "priority")
+		// With a crashed delete possibly linearized inside D's window,
+		// the single witness no longer proves an inversion; the checker
+		// stays conservative and accepts.
+		pending := []PendingOp{{Kind: DeleteMin, Start: 5}}
+		if vs := CheckTruncated(h, pending); len(vs) != 0 {
+			t.Fatalf("excusable priority inversion flagged: %v", vs)
+		}
+	})
+}
+
 func requireRule(t *testing.T, vs []Violation, rule string) {
 	t.Helper()
 	for _, v := range vs {

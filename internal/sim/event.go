@@ -1,12 +1,21 @@
 package sim
 
+// Event kinds: an ordinary processor resumption, or the enactment of a
+// fault-plan crash.
+const (
+	evResume uint8 = iota
+	evCrash
+)
+
 // event is a scheduled resumption of a processor at a simulated time. val
 // carries the result of the memory operation the processor is blocked on.
+// kind distinguishes resumptions from fault-plan crash enactments.
 type event struct {
 	time int64
 	seq  uint64
 	proc int32
 	val  uint64
+	kind uint8
 }
 
 // eventHeap is a binary min-heap of events ordered by (time, seq). seq is a

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the deterministic fault-injection layer. A
+// FaultPlan attached to Config describes processor stalls, crash-stops
+// and memory-module degradation windows; the engine resolves all of them
+// internally, so a run remains a pure function of (program, Config) —
+// the same plan and seed reproduce the same failure bit-for-bit.
+
+// DistKind selects the shape of a fault-timing distribution.
+type DistKind uint8
+
+// Supported distribution shapes.
+const (
+	// DistFixed always yields Value.
+	DistFixed DistKind = iota + 1
+	// DistUniform yields an integer uniform in [Min, Max].
+	DistUniform
+	// DistPareto yields a Pareto-distributed value with scale Value
+	// (the minimum) and tail index Alpha — the heavy-tailed model of
+	// stragglers: most stalls are short, a few are enormous. Alpha <= 1
+	// has infinite mean; 1.2–2 is the realistic straggler regime.
+	DistPareto
+)
+
+// Dist is a distribution over non-negative cycle counts, sampled from a
+// deterministic per-stream PRNG.
+type Dist struct {
+	Kind DistKind
+	// Value is the constant for DistFixed and the scale (minimum) for
+	// DistPareto.
+	Value int64
+	// Min and Max bound DistUniform, inclusive.
+	Min, Max int64
+	// Alpha is the Pareto tail index.
+	Alpha float64
+}
+
+// Fixed returns a distribution that always yields v.
+func Fixed(v int64) Dist { return Dist{Kind: DistFixed, Value: v} }
+
+// Uniform returns an integer distribution uniform on [min, max].
+func Uniform(min, max int64) Dist { return Dist{Kind: DistUniform, Min: min, Max: max} }
+
+// Pareto returns a heavy-tailed distribution with the given scale
+// (minimum value) and tail index alpha.
+func Pareto(scale int64, alpha float64) Dist {
+	return Dist{Kind: DistPareto, Value: scale, Alpha: alpha}
+}
+
+// maxSample caps samples so that pathological tail draws cannot overflow
+// the simulated clock.
+const maxSample = int64(1) << 40
+
+func (d Dist) validate(what string) error {
+	switch d.Kind {
+	case DistFixed:
+		if d.Value < 0 {
+			return fmt.Errorf("sim: %s: fixed value must be >= 0, got %d", what, d.Value)
+		}
+	case DistUniform:
+		if d.Min < 0 || d.Max < d.Min {
+			return fmt.Errorf("sim: %s: uniform bounds must satisfy 0 <= Min <= Max, got [%d,%d]", what, d.Min, d.Max)
+		}
+	case DistPareto:
+		if d.Value <= 0 {
+			return fmt.Errorf("sim: %s: pareto scale must be > 0, got %d", what, d.Value)
+		}
+		if d.Alpha <= 0 {
+			return fmt.Errorf("sim: %s: pareto alpha must be > 0, got %g", what, d.Alpha)
+		}
+	default:
+		return fmt.Errorf("sim: %s: unknown distribution kind %d", what, d.Kind)
+	}
+	return nil
+}
+
+// sample draws one value. It never returns a negative number and caps
+// heavy-tail draws at maxSample.
+func (d Dist) sample(rng *rand.Rand) int64 {
+	var v int64
+	switch d.Kind {
+	case DistFixed:
+		v = d.Value
+	case DistUniform:
+		v = d.Min + rng.Int63n(d.Max-d.Min+1)
+	case DistPareto:
+		// Inverse-CDF: scale * u^(-1/alpha), u uniform in (0,1].
+		u := 1 - rng.Float64() // (0, 1]
+		x := float64(d.Value) * math.Pow(u, -1/d.Alpha)
+		if x > float64(maxSample) {
+			return maxSample
+		}
+		v = int64(x)
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > maxSample {
+		return maxSample
+	}
+	return v
+}
+
+// AllProcs selects every processor in a StallSpec.
+const AllProcs = -1
+
+// StallSpec describes transient stalls of one processor (or all of
+// them): the processor freezes for Duration cycles, then runs normally
+// for Gap cycles, repeating. Stalls model preemption, page faults, or
+// interrupt storms — the processor is absent but its memory state is
+// intact. Each (spec, processor) pair gets an independent PRNG stream
+// derived from Config.Seed, so plans with Proc == AllProcs do not stall
+// every processor in lockstep.
+type StallSpec struct {
+	// Proc is the stalled processor, or AllProcs for every processor.
+	Proc int
+	// Gap is the distribution of fault-free intervals between stalls.
+	Gap Dist
+	// Duration is the distribution of stall lengths.
+	Duration Dist
+}
+
+// Crash stops a processor permanently: at the first scheduling point at
+// or after cycle At, the processor ceases to execute. It completes no
+// further memory operations, releases no locks, and signals no combining
+// partners — the crash-stop failure model.
+type Crash struct {
+	Proc int
+	// At is the simulated cycle of the crash.
+	At int64
+}
+
+// Degrade is a memory-module degradation window: remote accesses to
+// words in [Base, Base+Words) during cycles [From, Until) have their
+// occupancy and remote latency multiplied by Factor, modelling a
+// congested or failing memory node. Cache hits and cache-to-cache
+// transfers are unaffected (the module is not involved in them).
+type Degrade struct {
+	Base  Addr
+	Words int
+	// From and Until bound the window, From <= t < Until.
+	From, Until int64
+	// Factor multiplies Occupancy and RemoteCost, Factor >= 1.
+	Factor int64
+}
+
+// FaultPlan is a deterministic schedule of injected faults. The zero
+// value injects nothing.
+type FaultPlan struct {
+	Stalls   []StallSpec
+	Crashes  []Crash
+	Degrades []Degrade
+}
+
+func (fp *FaultPlan) validate(procs int) error {
+	for i, s := range fp.Stalls {
+		if s.Proc != AllProcs && (s.Proc < 0 || s.Proc >= procs) {
+			return fmt.Errorf("sim: FaultPlan.Stalls[%d]: processor %d out of range [0,%d)", i, s.Proc, procs)
+		}
+		if err := s.Gap.validate(fmt.Sprintf("FaultPlan.Stalls[%d].Gap", i)); err != nil {
+			return err
+		}
+		if err := s.Duration.validate(fmt.Sprintf("FaultPlan.Stalls[%d].Duration", i)); err != nil {
+			return err
+		}
+	}
+	for i, c := range fp.Crashes {
+		if c.Proc < 0 || c.Proc >= procs {
+			return fmt.Errorf("sim: FaultPlan.Crashes[%d]: processor %d out of range [0,%d)", i, c.Proc, procs)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("sim: FaultPlan.Crashes[%d]: crash cycle must be >= 0, got %d", i, c.At)
+		}
+	}
+	for i, d := range fp.Degrades {
+		if d.Words <= 0 {
+			return fmt.Errorf("sim: FaultPlan.Degrades[%d]: Words must be > 0, got %d", i, d.Words)
+		}
+		if d.From < 0 || d.Until <= d.From {
+			return fmt.Errorf("sim: FaultPlan.Degrades[%d]: window must satisfy 0 <= From < Until, got [%d,%d)", i, d.From, d.Until)
+		}
+		if d.Factor < 1 {
+			return fmt.Errorf("sim: FaultPlan.Degrades[%d]: Factor must be >= 1, got %d", i, d.Factor)
+		}
+	}
+	return nil
+}
+
+// stallStream is the lazily-advanced state of one (StallSpec, processor)
+// pair: next is the cycle the next stall begins.
+type stallStream struct {
+	gap, dur Dist
+	rng      *rand.Rand
+	next     int64
+}
+
+// faultState is the engine-side state of an active FaultPlan.
+type faultState struct {
+	// streams[p] are the stall streams affecting processor p.
+	streams [][]*stallStream
+	// crashAt[p] is the earliest crash cycle for p, or -1.
+	crashAt []int64
+	// crashed[p] is set once the crash has been enacted.
+	crashed  []bool
+	degrades []Degrade
+}
+
+func newFaultState(fp *FaultPlan, procs int, seed int64) *faultState {
+	fs := &faultState{
+		streams:  make([][]*stallStream, procs),
+		crashAt:  make([]int64, procs),
+		crashed:  make([]bool, procs),
+		degrades: append([]Degrade(nil), fp.Degrades...),
+	}
+	for p := range fs.crashAt {
+		fs.crashAt[p] = -1
+	}
+	for _, c := range fp.Crashes {
+		if fs.crashAt[c.Proc] < 0 || c.At < fs.crashAt[c.Proc] {
+			fs.crashAt[c.Proc] = c.At
+		}
+	}
+	for si, s := range fp.Stalls {
+		lo, hi := s.Proc, s.Proc+1
+		if s.Proc == AllProcs {
+			lo, hi = 0, procs
+		}
+		for p := lo; p < hi; p++ {
+			rng := rand.New(rand.NewSource(seed*2_654_435_761 + int64(si)*1_000_000_007 + int64(p)*97_003 + 40_503))
+			st := &stallStream{gap: s.Gap, dur: s.Duration, rng: rng}
+			st.next = st.gap.sample(rng)
+			fs.streams[p] = append(fs.streams[p], st)
+		}
+	}
+	return fs
+}
+
+// stallAdjust delays a processor resumption scheduled for cycle t past
+// any stalls that begin at or before t, advancing each stream's state.
+// Stalls are wall-clock periodic: a stream whose window was entirely
+// skipped (the processor was already blocked past it) still advances.
+func (fs *faultState) stallAdjust(proc int32, t int64) int64 {
+	for _, st := range fs.streams[proc] {
+		for st.next <= t {
+			end := st.next + st.dur.sample(st.rng)
+			if t < end {
+				t = end
+			}
+			st.next = end + st.gap.sample(st.rng)
+		}
+	}
+	return t
+}
+
+// degradeFactor returns the latency multiplier for an access to a at
+// cycle now (1 when no window applies; overlapping windows multiply).
+func (fs *faultState) degradeFactor(a Addr, now int64) int64 {
+	f := int64(1)
+	for _, d := range fs.degrades {
+		if a >= d.Base && a < d.Base+Addr(d.Words) && now >= d.From && now < d.Until {
+			f *= d.Factor
+		}
+	}
+	return f
+}

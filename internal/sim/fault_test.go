@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestDistSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []Dist{Fixed(25), Uniform(10, 20), Pareto(100, 1.3)} {
+		if err := d.validate("test"); err != nil {
+			t.Fatalf("%+v: %v", d, err)
+		}
+		for i := 0; i < 1000; i++ {
+			v := d.sample(rng)
+			if v < 0 || v > maxSample {
+				t.Fatalf("%+v: sample %d out of range", d, v)
+			}
+			switch d.Kind {
+			case DistFixed:
+				if v != d.Value {
+					t.Fatalf("fixed sample %d != %d", v, d.Value)
+				}
+			case DistUniform:
+				if v < d.Min || v > d.Max {
+					t.Fatalf("uniform sample %d outside [%d,%d]", v, d.Min, d.Max)
+				}
+			case DistPareto:
+				if v < d.Value {
+					t.Fatalf("pareto sample %d below scale %d", v, d.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestDistValidation(t *testing.T) {
+	bad := []Dist{
+		{Kind: DistFixed, Value: -1},
+		{Kind: DistUniform, Min: 5, Max: 3},
+		{Kind: DistUniform, Min: -1, Max: 3},
+		{Kind: DistPareto, Value: 0, Alpha: 1.5},
+		{Kind: DistPareto, Value: 10, Alpha: 0},
+		{Kind: 99},
+	}
+	for _, d := range bad {
+		if err := d.validate("test"); err == nil {
+			t.Errorf("%+v: expected validation error", d)
+		}
+	}
+}
+
+func TestConfigRejectsNegativeCosts(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.LocalCost = -1 },
+		func(c *Config) { c.RemoteCost = -2 },
+		func(c *Config) { c.Occupancy = -1 },
+		func(c *Config) { c.WakeCost = -5 },
+		func(c *Config) { c.MaxEvents = -1 },
+		func(c *Config) { c.MemoryWords = -1 },
+		func(c *Config) { c.WatchdogCycles = -1 },
+	} {
+		cfg := DefaultConfig(2)
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v: expected error for negative parameter", cfg)
+		}
+	}
+	// Zero Occupancy/WakeCost are valid explicit choices and are kept.
+	cfg := DefaultConfig(2)
+	cfg.Occupancy, cfg.WakeCost = 0, 0
+	if err := cfg.normalize(); err != nil {
+		t.Fatalf("zero occupancy/wake rejected: %v", err)
+	}
+	if cfg.Occupancy != 0 || cfg.WakeCost != 0 {
+		t.Fatalf("explicit zero Occupancy/WakeCost overwritten: %+v", cfg)
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	for _, fp := range []FaultPlan{
+		{Stalls: []StallSpec{{Proc: 9, Gap: Fixed(10), Duration: Fixed(5)}}},
+		{Stalls: []StallSpec{{Proc: -2, Gap: Fixed(10), Duration: Fixed(5)}}},
+		{Crashes: []Crash{{Proc: 4, At: 100}}},
+		{Crashes: []Crash{{Proc: 0, At: -1}}},
+		{Degrades: []Degrade{{Base: 0, Words: 0, From: 0, Until: 10, Factor: 2}}},
+		{Degrades: []Degrade{{Base: 0, Words: 4, From: 10, Until: 10, Factor: 2}}},
+		{Degrades: []Degrade{{Base: 0, Words: 4, From: 0, Until: 10, Factor: 0}}},
+	} {
+		fp := fp
+		cfg := DefaultConfig(4)
+		cfg.Faults = &fp
+		if _, err := New(cfg); err == nil {
+			t.Errorf("plan %+v: expected validation error", fp)
+		}
+	}
+}
+
+// runCounter runs p processors hammering a shared counter and returns
+// the final stats.
+func runCounter(t *testing.T, cfg Config, opsPerProc int) (Stats, uint64, error) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	st, runErr := m.Run(func(p *Proc) {
+		for i := 0; i < opsPerProc; i++ {
+			p.LocalWork(20)
+			p.FetchAdd(a, 1)
+			p.OpDone()
+		}
+	})
+	return st, m.Word(a), runErr
+}
+
+func TestStallsAreDeterministicAndSlow(t *testing.T) {
+	base := DefaultConfig(8)
+	st0, sum0, err := runCounter(t, base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := base
+	faulty.Faults = &FaultPlan{Stalls: []StallSpec{
+		{Proc: AllProcs, Gap: Uniform(500, 1500), Duration: Pareto(200, 1.4)},
+	}}
+	st1, sum1, err := runCounter(t, faulty, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, sum2, err := runCounter(t, faulty, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 || sum1 != sum2 {
+		t.Fatalf("faulty runs diverged: %+v/%d vs %+v/%d", st1, sum1, st2, sum2)
+	}
+	if sum1 != sum0 {
+		t.Fatalf("stalls changed the computation: sum %d vs %d", sum1, sum0)
+	}
+	if st1.FinalTime <= st0.FinalTime {
+		t.Fatalf("stalls did not slow the run: %d <= %d", st1.FinalTime, st0.FinalTime)
+	}
+}
+
+func TestCrashStopKillsProcessor(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Faults = &FaultPlan{Crashes: []Crash{{Proc: 2, At: 500}}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(4)
+	st, runErr := m.Run(func(p *Proc) {
+		for i := 0; i < 30; i++ {
+			p.LocalWork(50)
+			p.FetchAdd(a+Addr(p.ID()), 1)
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("survivors should finish: %v", runErr)
+	}
+	if got := m.CrashedProcs(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CrashedProcs = %v, want [2]", got)
+	}
+	if m.Word(a+2) >= 30 {
+		t.Fatalf("crashed processor completed all %d ops", m.Word(a+2))
+	}
+	for _, i := range []Addr{0, 1, 3} {
+		if m.Word(a+i) != 30 {
+			t.Fatalf("survivor %d completed %d/30 ops", i, m.Word(a+i))
+		}
+	}
+	if st.FinalTime <= 0 {
+		t.Fatal("no time passed")
+	}
+}
+
+func TestCrashOrphanedLockDeadlocks(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Faults = &FaultPlan{Crashes: []Crash{{Proc: 0, At: 200}}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := m.Alloc(1)
+	m.Label(lock, 1, "test.lock")
+	_, runErr := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			// Take the lock, then "work" past the crash cycle without
+			// ever releasing.
+			p.Swap(lock, 1)
+			p.LocalWork(10_000)
+			p.Write(lock, 0)
+		} else {
+			p.LocalWork(300) // let proc 0 win the lock and die holding it
+			for p.Swap(lock, 1) != 0 {
+				p.WaitWhile(lock, 1)
+			}
+		}
+	})
+	if !errors.Is(runErr, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", runErr)
+	}
+	parked := m.ParkedProcs()
+	if len(parked) != 1 || parked[0].Proc != 1 || m.LabelFor(parked[0].Addr) != "test.lock" {
+		t.Fatalf("parked = %+v, want proc 1 on test.lock", parked)
+	}
+}
+
+func TestWatchdogConvertsLivelock(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.WatchdogCycles = 50_000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(1)
+	m.Label(a, 1, "test.spinword")
+	_, runErr := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				p.FetchAdd(a, 1)
+				p.OpDone()
+			}
+		}
+		// Both processors then spin forever on a CAS that can't succeed
+		// — a livelock that burns events without completing operations.
+		for {
+			p.CAS(a, 1<<40, 0)
+			p.LocalWork(10)
+		}
+	})
+	var wd *WatchdogError
+	if !errors.As(runErr, &wd) {
+		t.Fatalf("err = %v, want *WatchdogError", runErr)
+	}
+	if wd.Now-wd.LastProgress <= wd.Limit {
+		t.Fatalf("watchdog fired early: now %d, last %d, limit %d", wd.Now, wd.LastProgress, wd.Limit)
+	}
+	// Bounded simulated time: it must fire well before MaxEvents burns.
+	if wd.Now > wd.LastProgress+2*wd.Limit+DefaultRemoteCost*100 {
+		t.Fatalf("watchdog fired late: now %d, last progress %d", wd.Now, wd.LastProgress)
+	}
+	if len(wd.Procs) != 2 {
+		t.Fatalf("snapshot has %d procs, want 2", len(wd.Procs))
+	}
+	p0 := wd.Procs[0]
+	if p0.Ops != 5 {
+		t.Errorf("proc 0 ops = %d, want 5", p0.Ops)
+	}
+	if p0.BlockedLabel != "test.spinword" {
+		t.Errorf("proc 0 blocked label = %q, want test.spinword", p0.BlockedLabel)
+	}
+	if p0.Parked {
+		t.Error("spinning proc reported as parked")
+	}
+	if msg := wd.Error(); msg == "" {
+		t.Error("empty watchdog message")
+	}
+}
+
+func TestDegradeWindowSlowsModule(t *testing.T) {
+	run := func(fp *FaultPlan) int64 {
+		cfg := DefaultConfig(2)
+		cfg.Faults = fp
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.Alloc(1)
+		st, runErr := m.Run(func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.FetchAdd(a, 1) // both processors hammer one word
+			}
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		if m.Word(a) != 200 {
+			t.Fatalf("sum = %d, want 200", m.Word(a))
+		}
+		return st.FinalTime
+	}
+	clean := run(nil)
+	degraded := run(&FaultPlan{Degrades: []Degrade{
+		{Base: 0, Words: 1 << 20, From: 0, Until: 1 << 40, Factor: 8},
+	}})
+	if degraded < 4*clean {
+		t.Fatalf("8x degradation sped past 4x: clean %d, degraded %d", clean, degraded)
+	}
+	// A window that never overlaps the run must cost nothing.
+	outside := run(&FaultPlan{Degrades: []Degrade{
+		{Base: 0, Words: 1 << 20, From: 1 << 39, Until: 1 << 40, Factor: 8},
+	}})
+	if outside != clean {
+		t.Fatalf("inactive window changed timing: %d vs %d", outside, clean)
+	}
+}
+
+func TestCrashAtZeroNeverRuns(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Faults = &FaultPlan{Crashes: []Crash{{Proc: 1, At: 0}}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Alloc(2)
+	_, runErr := m.Run(func(p *Proc) {
+		p.Write(a+Addr(p.ID()), 1)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if m.Word(a+1) != 0 {
+		t.Fatal("processor crashed at cycle 0 still executed")
+	}
+	if m.Word(a) != 1 {
+		t.Fatal("survivor did not run")
+	}
+}

@@ -53,6 +53,11 @@ type Machine struct {
 	labels  []label
 
 	procEvents []int64
+
+	// fault-injection and watchdog state
+	faults       *faultState // nil unless Config.Faults is set
+	lastProgress int64       // cycle of the last Proc.OpDone
+	doneProcs    []bool      // programs that returned normally
 }
 
 // New creates a machine with the given configuration.
@@ -70,8 +75,12 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	m.procEvents = make([]int64, cfg.Procs)
+	m.doneProcs = make([]bool, cfg.Procs)
 	for i := range m.procs {
 		m.procs[i] = newProc(m, i, cfg.Seed)
+	}
+	if cfg.Faults != nil {
+		m.faults = newFaultState(cfg.Faults, cfg.Procs, cfg.Seed)
 	}
 	return m, nil
 }
@@ -178,8 +187,17 @@ func (m *Machine) Run(program func(p *Proc)) (Stats, error) {
 			p.send(request{kind: reqDone})
 		}()
 	}
-	// Seed one start event per processor at time zero; seq ordering starts
-	// them in processor order.
+	// Seed the fault plan's crash enactments first, then one start event
+	// per processor at time zero; seq ordering makes a crash at cycle t
+	// take effect before any resumption scheduled for the same cycle.
+	if m.faults != nil {
+		for proc, at := range m.faults.crashAt {
+			if at >= 0 {
+				m.seq++
+				m.evq.push(event{time: at, seq: m.seq, proc: int32(proc), kind: evCrash})
+			}
+		}
+	}
 	for i := range m.procs {
 		m.schedule(0, int32(i), 0)
 	}
@@ -198,10 +216,31 @@ loop:
 		}
 		e := m.evq.pop()
 		m.events++
-		m.procEvents[e.proc]++
 		if e.time > m.now {
 			m.now = e.time
 		}
+		if wd := m.cfg.WatchdogCycles; wd > 0 && m.now-m.lastProgress > wd {
+			err = m.snapshot()
+			break
+		}
+		if fs := m.faults; fs != nil {
+			if e.kind == evCrash {
+				// Enact a crash-stop: the processor executes nothing
+				// further. Its goroutine is released via its dead
+				// channel; a parked processor is dropped from its
+				// waiter list lazily by wakeWaiters.
+				if !fs.crashed[e.proc] && !m.doneProcs[e.proc] {
+					fs.crashed[e.proc] = true
+					close(m.procs[e.proc].dead)
+					running--
+				}
+				continue
+			}
+			if fs.crashed[e.proc] {
+				continue // stale resumption of a crashed processor
+			}
+		}
+		m.procEvents[e.proc]++
 		p := m.procs[e.proc]
 		p.now = m.now
 		select {
@@ -212,6 +251,7 @@ loop:
 		r := <-p.req
 		switch r.kind {
 		case reqDone:
+			m.doneProcs[e.proc] = true
 			running--
 		default:
 			m.handle(p, r)
@@ -226,8 +266,39 @@ loop:
 }
 
 func (m *Machine) schedule(t int64, proc int32, val uint64) {
+	if m.faults != nil {
+		// A resumption landing inside a stall window is delayed to the
+		// window's end; the processor is frozen, its memory state intact.
+		t = m.faults.stallAdjust(proc, t)
+	}
 	m.seq++
 	m.evq.push(event{time: t, seq: m.seq, proc: proc, val: val})
+}
+
+// noteProgress records the completion of one tracked application-level
+// operation (Proc.OpDone). Called from the processor goroutine while it
+// holds the execution baton, so no locking is needed.
+func (m *Machine) noteProgress(p *Proc) {
+	if p.now > m.lastProgress {
+		m.lastProgress = p.now
+	}
+	p.ops++
+	p.lastOpAt = p.now
+}
+
+// CrashedProcs lists processors crash-stopped by the fault plan, in
+// processor order. Only meaningful after Run returns.
+func (m *Machine) CrashedProcs() []int {
+	if m.faults == nil {
+		return nil
+	}
+	var out []int
+	for p, c := range m.faults.crashed {
+		if c {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // handle services one memory request and schedules the processor's
@@ -367,15 +438,30 @@ func traceOpFor(k reqKind) TraceOp {
 
 // remoteAccess charges a remote access to w's home module and returns the
 // completion time. Overlapping accesses to the same word serialize on the
-// module's occupancy — the hot-spot model.
+// module's occupancy — the hot-spot model. A fault-plan degradation
+// window covering the word multiplies both costs.
 func (m *Machine) remoteAccess(a Addr, w *word) int64 {
+	occ, rem := m.cfg.Occupancy, m.cfg.RemoteCost
+	if f := m.moduleDegrade(a); f > 1 {
+		occ *= f
+		rem *= f
+	}
 	start := m.now
 	if w.busyUntil > start {
 		start = w.busyUntil
 	}
-	w.busyUntil = start + m.cfg.Occupancy
+	w.busyUntil = start + occ
 	m.recordAccess(a, start-m.now)
-	return start + m.cfg.RemoteCost
+	return start + rem
+}
+
+// moduleDegrade returns the fault-plan latency multiplier for word a at
+// the current cycle (1 when no degradation window applies).
+func (m *Machine) moduleDegrade(a Addr) int64 {
+	if m.faults == nil || len(m.faults.degrades) == 0 {
+		return 1
+	}
+	return m.faults.degradeFactor(a, m.now)
 }
 
 // wakeWaiters resumes every processor parked on addr whose condition no
@@ -388,7 +474,14 @@ func (m *Machine) wakeWaiters(addr Addr, writeDone int64) {
 		return
 	}
 	kept := w.waiters[:0]
+	occ := m.cfg.Occupancy
+	if f := m.moduleDegrade(addr); f > 1 {
+		occ *= f
+	}
 	for _, wt := range w.waiters {
+		if m.faults != nil && m.faults.crashed[wt.proc] {
+			continue // a crashed processor never re-fetches; drop it
+		}
 		if w.val == wt.while {
 			kept = append(kept, wt)
 			continue
@@ -397,7 +490,7 @@ func (m *Machine) wakeWaiters(addr Addr, writeDone int64) {
 		if w.busyUntil > start {
 			start = w.busyUntil
 		}
-		w.busyUntil = start + m.cfg.Occupancy
+		w.busyUntil = start + occ
 		// Book both the module queueing of the re-fetch and the time the
 		// processor spent parked on this word: parked time is where lock
 		// queues (MCS) accumulate their latency.

@@ -37,6 +37,17 @@ type Proc struct {
 	resp chan uint64
 	rng  *rand.Rand
 	now  int64
+
+	// dead is closed when the fault plan crash-stops this processor;
+	// the next engine interaction then aborts the goroutine.
+	dead chan struct{}
+
+	// watchdog bookkeeping: the last issued request (for diagnostic
+	// snapshots) and tracked-operation completions (OpDone).
+	lastKind reqKind
+	lastAddr Addr
+	ops      int64
+	lastOpAt int64
 }
 
 func newProc(m *Machine, id int, seed int64) *Proc {
@@ -45,6 +56,7 @@ func newProc(m *Machine, id int, seed int64) *Proc {
 		m:    m,
 		req:  make(chan request),
 		resp: make(chan uint64),
+		dead: make(chan struct{}),
 		rng:  rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 12345)),
 	}
 }
@@ -115,9 +127,21 @@ func (p *Proc) LocalWork(n int64) {
 	p.await()
 }
 
+// OpDone marks the completion of one application-level operation for the
+// progress watchdog (Config.WatchdogCycles). It costs no simulated
+// cycles; programs that do not call it should not enable the watchdog.
+func (p *Proc) OpDone() {
+	p.m.noteProgress(p)
+}
+
 func (p *Proc) send(r request) {
+	if r.kind != reqDone {
+		p.lastKind, p.lastAddr = r.kind, r.addr
+	}
 	select {
 	case p.req <- r:
+	case <-p.dead:
+		panic(errAborted)
 	case <-p.m.stop:
 		panic(errAborted)
 	}
@@ -127,6 +151,8 @@ func (p *Proc) await() uint64 {
 	select {
 	case v := <-p.resp:
 		return v
+	case <-p.dead:
+		panic(errAborted)
 	case <-p.m.stop:
 		panic(errAborted)
 	}

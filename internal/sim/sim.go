@@ -62,6 +62,17 @@ type Config struct {
 	// Profile enables per-word contention accounting, read back after the
 	// run with Machine.HotSpots.
 	Profile bool
+	// Faults, when non-nil, injects the plan's deterministic processor
+	// stalls, crash-stops and memory-degradation windows into the run.
+	// All fault randomness derives from Seed, so faulty runs reproduce
+	// bit-for-bit. See FaultPlan.
+	Faults *FaultPlan
+	// WatchdogCycles aborts the run with a *WatchdogError if no tracked
+	// operation (Proc.OpDone) completes for this many simulated cycles —
+	// turning livelocks into typed, diagnosable errors instead of
+	// burning events to MaxEvents. Zero disables the watchdog; programs
+	// that never call OpDone must leave it disabled.
+	WatchdogCycles int64
 	// Trace, when non-nil, receives every memory operation the engine
 	// services (it is called from the engine goroutine, in deterministic
 	// order, before the operation's effect is applied). Tracing costs no
@@ -140,27 +151,49 @@ func DefaultConfig(p int) Config {
 	}
 }
 
+// normalize validates the configuration and fills defaults. Zero means
+// "use the default" for LocalCost, RemoteCost, MemoryWords and
+// MaxEvents; a zero Occupancy or WakeCost is a valid explicit choice
+// (a machine with no hot-spot queueing / free wake-ups) and is kept.
+// Negative values are configuration errors everywhere — a sweep that
+// computes a negative cost should fail loudly, not silently run on
+// defaults.
 func (c *Config) normalize() error {
 	if c.Procs < 1 || c.Procs > MaxProcs {
 		return fmt.Errorf("sim: Procs must be in [1,%d], got %d", MaxProcs, c.Procs)
 	}
-	if c.LocalCost <= 0 {
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"LocalCost", c.LocalCost},
+		{"RemoteCost", c.RemoteCost},
+		{"Occupancy", c.Occupancy},
+		{"WakeCost", c.WakeCost},
+		{"MemoryWords", int64(c.MemoryWords)},
+		{"MaxEvents", c.MaxEvents},
+		{"WatchdogCycles", c.WatchdogCycles},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("sim: %s must be >= 0, got %d", f.name, f.v)
+		}
+	}
+	if c.LocalCost == 0 {
 		c.LocalCost = DefaultLocalCost
 	}
-	if c.RemoteCost <= 0 {
+	if c.RemoteCost == 0 {
 		c.RemoteCost = DefaultRemoteCost
 	}
-	if c.Occupancy < 0 {
-		c.Occupancy = DefaultOccupancy
-	}
-	if c.WakeCost < 0 {
-		c.WakeCost = DefaultWakeCost
-	}
-	if c.MemoryWords <= 0 {
+	if c.MemoryWords == 0 {
 		c.MemoryWords = DefaultMemoryWords
 	}
-	if c.MaxEvents <= 0 {
+	if c.MaxEvents == 0 {
 		c.MaxEvents = DefaultMaxEvents
+	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(c.Procs); err != nil {
+			return err
+		}
 	}
 	return nil
 }

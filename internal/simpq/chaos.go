@@ -1,0 +1,246 @@
+package simpq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"pq/internal/order"
+	"pq/internal/sim"
+)
+
+// This file is the chaos-harness plumbing: it drives the paper's
+// workload under a sim.FaultPlan while recording a complete operation
+// history (including operations left in flight by crashes or aborts), so
+// the order checker can prove safety for the surviving processors and
+// the harness can classify each algorithm's failure mode.
+
+// ChaosVal encodes (priority, processor, sequence) into a queue value so
+// a recorded history can recover the priority of any returned item.
+func ChaosVal(pri, proc, seq int) uint64 {
+	return uint64(pri)<<40 | uint64(proc)<<24 | uint64(seq) | 1<<55
+}
+
+// ChaosPri recovers the priority encoded by ChaosVal.
+func ChaosPri(v uint64) int { return int(v>>40) & 0x7fff }
+
+// BlockedProc describes where one processor was stuck when a chaos run
+// ended without completing.
+type BlockedProc struct {
+	Proc int
+	// Addr is the word the processor was parked on; Label its profiling
+	// label ("" if unlabeled).
+	Addr  sim.Addr
+	Label string
+}
+
+// ChaosResult is the outcome of one chaos run. RunErr distinguishes the
+// terminal states: nil (every surviving processor finished its ops),
+// sim.ErrDeadlock (all survivors parked forever), a *sim.WatchdogError
+// (survivors active but completing nothing), or sim.ErrEventLimit.
+type ChaosResult struct {
+	// Latency aggregates completed operations (meaningful mainly for
+	// runs that finish).
+	Latency Result
+	// History holds every completed operation with exact cycle
+	// timestamps, in per-processor program order.
+	History []order.Op
+	// Pending holds the operations in flight when the run ended —
+	// possibly linearized; feed them to order.CheckTruncated.
+	Pending []order.PendingOp
+	// RunErr is the simulator's terminal state (see type comment).
+	RunErr error
+	// Completed counts processors that finished all their operations;
+	// Crashed lists processors crash-stopped by the fault plan.
+	Completed int
+	Crashed   []int
+	// Blocked lists surviving processors left parked in WaitWhile, with
+	// the label of the word they were stuck on — the raw material for
+	// failure-mode classification.
+	Blocked []BlockedProc
+	// Digest is an FNV-1a hash of the full history and pending set;
+	// equal configurations must reproduce it bit-for-bit.
+	Digest uint64
+}
+
+// chaosPending is one processor's in-flight operation slot.
+type chaosPending struct {
+	active bool
+	kind   order.Kind
+	pri    int
+	val    uint64
+	start  int64
+}
+
+// ChaosWorkload drives the standard mixed workload for alg under the
+// fault plan (and watchdog) carried by simCfg, recording the operation
+// history. Unlike DriveWorkload it uses no start barrier — a processor
+// crashing before a barrier would hang every other processor for
+// reasons that have nothing to do with the algorithm under test — so
+// prefill inserts simply race with the measured mix.
+func ChaosWorkload(alg Algorithm, npri int, cfg WorkloadConfig, simCfg sim.Config) (ChaosResult, error) {
+	if !knownAlgorithm(alg) {
+		return ChaosResult{}, fmt.Errorf("simpq: unknown algorithm %q", alg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return ChaosResult{}, err
+	}
+	if npri < 1 {
+		return ChaosResult{}, fmt.Errorf("simpq: priorities must be >= 1, got %d", npri)
+	}
+	if cfg.Seed != 0 {
+		simCfg.Seed = cfg.Seed
+	}
+	m, err := sim.New(simCfg)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	procs := m.Procs()
+	maxItems := procs*cfg.OpsPerProc + cfg.Prefill + 1
+	q := Build(alg, m, npri, maxItems)
+
+	histories := make([][]order.Op, procs)
+	pendings := make([]chaosPending, procs)
+	completed := make([]bool, procs)
+	type tally struct {
+		insCycles, delCycles int64
+		ins, dels, failed    int
+	}
+	tallies := make([]tally, procs)
+
+	simStats, runErr := m.Run(func(p *sim.Proc) {
+		id := p.ID()
+		t := &tallies[id]
+		pend := &pendings[id]
+		seq := 0
+
+		record := func(op order.Op) {
+			histories[id] = append(histories[id], op)
+			pend.active = false
+			p.OpDone()
+		}
+		insert := func(pri int) {
+			v := ChaosVal(pri, id, seq)
+			seq++
+			start := p.Now()
+			*pend = chaosPending{active: true, kind: order.Insert, pri: pri, val: v, start: start}
+			q.Insert(p, pri, v)
+			t.ins++
+			t.insCycles += p.Now() - start
+			record(order.Op{Kind: order.Insert, Pri: pri, Val: v, OK: true, Start: start, End: p.Now()})
+		}
+
+		share := cfg.Prefill / procs
+		if id < cfg.Prefill%procs {
+			share++
+		}
+		for i := 0; i < share; i++ {
+			insert(p.Rand(npri))
+		}
+
+		stall := cfg.StallCycles
+		if cfg.StallEvery > 0 && stall == 0 {
+			stall = 10 * sim.DefaultRemoteCost
+		}
+		for i := 0; i < cfg.OpsPerProc; i++ {
+			p.LocalWork(cfg.LocalWork)
+			if cfg.StallEvery > 0 && (i+id)%cfg.StallEvery == cfg.StallEvery-1 {
+				p.LocalWork(stall)
+			}
+			if float64(p.Rand(1<<16))/(1<<16) < cfg.InsertFraction {
+				insert(p.Rand(npri))
+			} else {
+				start := p.Now()
+				*pend = chaosPending{active: true, kind: order.DeleteMin, start: start}
+				v, ok := q.DeleteMin(p)
+				t.dels++
+				t.delCycles += p.Now() - start
+				op := order.Op{Kind: order.DeleteMin, OK: ok, Start: start, End: p.Now()}
+				if ok {
+					op.Pri, op.Val = ChaosPri(v), v
+				} else {
+					t.failed++
+				}
+				record(op)
+			}
+		}
+		completed[id] = true
+	})
+
+	r := ChaosResult{RunErr: runErr, Crashed: m.CrashedProcs()}
+	crashed := make(map[int]bool, len(r.Crashed))
+	for _, c := range r.Crashed {
+		crashed[c] = true
+	}
+	for id := 0; id < procs; id++ {
+		r.History = append(r.History, histories[id]...)
+		if completed[id] {
+			r.Completed++
+		} else if pendings[id].active {
+			pd := pendings[id]
+			r.Pending = append(r.Pending, order.PendingOp{
+				Kind: pd.kind, Pri: pd.pri, Val: pd.val, Start: pd.start,
+			})
+		}
+	}
+	for _, pk := range m.ParkedProcs() {
+		if crashed[pk.Proc] {
+			continue
+		}
+		r.Blocked = append(r.Blocked, BlockedProc{
+			Proc: pk.Proc, Addr: pk.Addr, Label: m.LabelFor(pk.Addr),
+		})
+	}
+
+	var insC, delC int64
+	for i := range tallies {
+		insC += tallies[i].insCycles
+		delC += tallies[i].delCycles
+		r.Latency.Inserts += tallies[i].ins
+		r.Latency.Deletes += tallies[i].dels
+		r.Latency.FailedDeletes += tallies[i].failed
+	}
+	if r.Latency.Inserts > 0 {
+		r.Latency.MeanInsert = float64(insC) / float64(r.Latency.Inserts)
+	}
+	if r.Latency.Deletes > 0 {
+		r.Latency.MeanDelete = float64(delC) / float64(r.Latency.Deletes)
+	}
+	if n := r.Latency.Inserts + r.Latency.Deletes; n > 0 {
+		r.Latency.MeanAll = float64(insC+delC) / float64(n)
+	}
+	r.Latency.Stats = simStats
+	r.Digest = chaosDigest(r.History, r.Pending)
+	return r, nil
+}
+
+// chaosDigest hashes a history (and pending set) into one word; bitwise
+// reproducibility of a chaos run is asserted by comparing digests.
+func chaosDigest(history []order.Op, pending []order.PendingOp) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, op := range history {
+		w(uint64(op.Kind))
+		w(uint64(int64(op.Pri)))
+		w(op.Val)
+		if op.OK {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(uint64(op.Start))
+		w(uint64(op.End))
+	}
+	w(0xfeed_face_dead_beef)
+	for _, po := range pending {
+		w(uint64(po.Kind))
+		w(uint64(int64(po.Pri)))
+		w(po.Val)
+		w(uint64(po.Start))
+	}
+	return h.Sum64()
+}

@@ -46,6 +46,37 @@ func DefaultWorkload() WorkloadConfig {
 	return WorkloadConfig{OpsPerProc: 60, LocalWork: 50, InsertFraction: 0.5}
 }
 
+// Validate rejects configurations that would otherwise produce a silent
+// no-op or a mid-run panic: chaos sweeps that compute a bad parameter
+// should fail loudly and up front.
+func (cfg WorkloadConfig) Validate() error {
+	switch {
+	case cfg.OpsPerProc < 1:
+		return fmt.Errorf("simpq: OpsPerProc must be >= 1, got %d (a zero-op workload measures nothing)", cfg.OpsPerProc)
+	case cfg.LocalWork < 0:
+		return fmt.Errorf("simpq: LocalWork must be >= 0, got %d", cfg.LocalWork)
+	case cfg.InsertFraction < 0 || cfg.InsertFraction > 1:
+		return fmt.Errorf("simpq: InsertFraction must be in [0,1], got %g", cfg.InsertFraction)
+	case cfg.Prefill < 0:
+		return fmt.Errorf("simpq: Prefill must be >= 0, got %d", cfg.Prefill)
+	case cfg.StallEvery < 0:
+		return fmt.Errorf("simpq: StallEvery must be >= 0, got %d (use 0 to disable stalls)", cfg.StallEvery)
+	case cfg.StallCycles < 0:
+		return fmt.Errorf("simpq: StallCycles must be >= 0, got %d (use 0 for the default stall length)", cfg.StallCycles)
+	}
+	return nil
+}
+
+// knownAlgorithm reports whether alg is one of the seven implementations.
+func knownAlgorithm(alg Algorithm) bool {
+	for _, a := range Algorithms {
+		if a == alg {
+			return true
+		}
+	}
+	return false
+}
+
 // Result aggregates a workload run.
 type Result struct {
 	// MeanAll, MeanInsert and MeanDelete are average latencies in cycles.
@@ -105,15 +136,11 @@ func ProfiledWorkload(alg Algorithm, procs, npri int, cfg WorkloadConfig, topN i
 // WorkloadOnMachine runs the benchmark with a fully custom machine
 // configuration — the entry point for cost-model sensitivity studies.
 func WorkloadOnMachine(alg Algorithm, npri int, cfg WorkloadConfig, simCfg sim.Config, topN int) (Result, []sim.HotSpot, error) {
-	known := false
-	for _, a := range Algorithms {
-		if a == alg {
-			known = true
-			break
-		}
-	}
-	if !known {
+	if !knownAlgorithm(alg) {
 		return Result{}, nil, fmt.Errorf("simpq: unknown algorithm %q", alg)
+	}
+	if npri < 1 {
+		return Result{}, nil, fmt.Errorf("simpq: priorities must be >= 1, got %d", npri)
 	}
 	procs := simCfg.Procs
 	if cfg.Seed != 0 {
@@ -136,6 +163,9 @@ func WorkloadOnMachine(alg Algorithm, npri int, cfg WorkloadConfig, simCfg sim.C
 // split from RunWorkload so harness code can drive custom configurations
 // (ablations, different funnel parameters).
 func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	procs := m.Procs()
 	npri := q.NumPriorities()
 	bar := newBarrier(m)
@@ -287,6 +317,9 @@ type SojournResult struct {
 // inserted value with its insertion cycle so deletions can measure how
 // long items waited.
 func SojournWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (SojournResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SojournResult{}, err
+	}
 	procs := m.Procs()
 	npri := q.NumPriorities()
 	bar := newBarrier(m)
