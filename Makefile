@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick chaos-quick examples vet fmt
+.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt
 
 all: build test
 
@@ -31,6 +31,16 @@ repro:
 # Same, at a quarter of the per-processor operation count (~seconds).
 repro-quick:
 	$(GO) run ./cmd/pqbench -experiment all -scale 0.25
+
+# Machine-readable benchmark suite: the standard workload for every
+# algorithm with latency quantiles, internals metrics and sim totals.
+bench-json:
+	$(GO) run ./cmd/pqbench -json BENCH_$$(date +%Y-%m-%d).json -metrics
+
+# Every figure plus the internals metrics report and latency histograms.
+figures:
+	$(GO) run ./cmd/pqbench -experiment all -scale 0.25 -plot
+	$(GO) run ./cmd/pqbench -metrics -plot -scale 0.25
 
 # Fault-injection matrix: every algorithm under stalls, module
 # degradation and crash-stop, with history checking (~seconds).

@@ -7,9 +7,13 @@
 //	pqbench -experiment all -scale 0.25   # everything, quick
 //	pqbench -list                         # show available experiments
 //	pqbench -experiment fig8 -csv out.csv # also dump raw points as CSV
+//	pqbench -metrics                      # internals counters for all queues
+//	pqbench -json out.json                # machine-readable bench suite
+//	pqbench -trace t.json -alg FunnelTree # Chrome/Perfetto trace of one run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,7 +22,9 @@ import (
 
 	"pq/internal/harness"
 	"pq/internal/plot"
+	"pq/internal/sim"
 	"pq/internal/simpq"
+	"pq/internal/trace"
 )
 
 func main() {
@@ -39,8 +45,12 @@ func run(args []string) error {
 		contention = fs.String("contention", "", "profile contention for this algorithm instead of running an experiment")
 		chaos      = fs.Bool("chaos", false, "run the chaos/fault-injection matrix over all algorithms instead of an experiment")
 		doPlot     = fs.Bool("plot", false, "also draw an ASCII chart of each experiment's series")
-		procs      = fs.Int("procs", 256, "processors for -contention")
-		pris       = fs.Int("pris", 16, "priorities for -contention")
+		metrics    = fs.Bool("metrics", false, "run the standard workload for every algorithm and print internals metrics")
+		jsonPath   = fs.String("json", "", "write the bench suite as machine-readable JSON to this file")
+		tracePath  = fs.String("trace", "", "write a Chrome/Perfetto trace of one workload run to this file")
+		alg        = fs.String("alg", "FunnelTree", "algorithm for -trace")
+		procs      = fs.Int("procs", 256, "processors for -contention, -metrics, -json and -trace")
+		pris       = fs.Int("pris", 16, "priorities for -contention, -metrics, -json and -trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +71,17 @@ func run(args []string) error {
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("-scale must be in (0,1], got %g", *scale)
+	}
+	if *tracePath != "" {
+		return runTrace(*tracePath, simpq.Algorithm(*alg), *procs, *pris, *scale)
+	}
+	if *metrics || *jsonPath != "" {
+		progress := func(msg string) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+			}
+		}
+		return runBenchSuite(*jsonPath, *procs, *pris, *scale, *metrics, *doPlot, progress)
 	}
 	if *chaos {
 		progress := func(msg string) {
@@ -144,4 +165,105 @@ func renderPlot(w io.Writer, pts []harness.Point) {
 		series = append(series, plot.Series{Name: name, Points: bySeries[name]})
 	}
 	plot.Render(w, plot.Config{Width: 72, Height: 18, LogX: logX, YLabel: "mean cycles/op"}, series)
+}
+
+// runBenchSuite runs the standard workload for every algorithm, writes
+// the machine-readable document when jsonPath is set, and prints the
+// human-readable metrics report when showMetrics is set.
+func runBenchSuite(jsonPath string, procs, pris int, scale float64, showMetrics, doPlot bool, progress func(string)) error {
+	bf, results, err := harness.RunBenchSuite(procs, pris, scale, progress)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		bf.Generated = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d runs, schema %s)\n", jsonPath, len(bf.Runs), bf.Schema)
+	}
+	if !showMetrics {
+		return nil
+	}
+
+	fmt.Printf("== internals metrics: standard workload, %d procs, %d priorities, scale %g ==\n\n", procs, pris, scale)
+	fmt.Printf("%-14s %12s %10s %10s %10s %10s %10s %12s %12s\n",
+		"algorithm", "ops/kcycle", "ins p50", "ins p99", "del p50", "del p99", "failed", "mem ops", "stall cyc")
+	for _, r := range bf.Runs {
+		fmt.Printf("%-14s %12.3f %10.0f %10.0f %10.0f %10.0f %10d %12d %12d\n",
+			r.Algorithm, r.ThroughputOpsPerKCycle,
+			r.Insert.P50, r.Insert.P99, r.Delete.P50, r.Delete.P99,
+			r.FailedDeletes, r.Sim.MemOps, r.Sim.StallCycles)
+	}
+	fmt.Println()
+
+	algs := make([]string, len(bf.Runs))
+	internals := make([]map[string]float64, len(bf.Runs))
+	for i, r := range bf.Runs {
+		algs[i] = r.Algorithm
+		internals[i] = r.Internals
+	}
+	plot.MetricsTable(os.Stdout, algs, internals)
+
+	if doPlot {
+		fmt.Println()
+		for i, r := range results {
+			if r.InsertHist != nil {
+				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s insert latency", algs[i]), r.InsertHist)
+			}
+			if r.DeleteHist != nil {
+				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s delete-min latency", algs[i]), r.DeleteHist)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// runTrace records one standard-workload run for alg with span tracing
+// enabled and writes a Chrome trace-event file loadable in Perfetto.
+func runTrace(path string, alg simpq.Algorithm, procs, pris int, scale float64) error {
+	cfg := simpq.DefaultWorkload()
+	cfg.OpsPerProc = int(float64(cfg.OpsPerProc) * scale)
+	if cfg.OpsPerProc < 5 {
+		cfg.OpsPerProc = 5
+	}
+	simCfg := sim.DefaultConfig(procs)
+	col := trace.NewCollector(procs)
+	simCfg.Spans = col
+	r, _, err := simpq.WorkloadOnMachine(alg, pris, cfg, simCfg, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	digest, err := col.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d procs, %d spans (%d dropped), final time %d cycles\n",
+		path, alg, procs, col.SpanCount(), col.Dropped(), r.Stats.FinalTime)
+	fmt.Printf("trace digest: %s\n", digest)
+	fmt.Println("phase totals (cycles):")
+	totals := col.PhaseTotals()
+	for _, ph := range sim.Phases {
+		if totals[ph] > 0 {
+			fmt.Printf("  %-12s %12d\n", ph, totals[ph])
+		}
+	}
+	fmt.Println("load in Perfetto: https://ui.perfetto.dev > Open trace file")
+	return nil
 }

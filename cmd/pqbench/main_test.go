@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pq/internal/harness"
 )
 
 func TestRunList(t *testing.T) {
@@ -72,5 +75,61 @@ func TestRunWithPlot(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "fig6", "-scale", "0.01", "-q", "-plot"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-json", path, "-procs", "8", "-pris", "4", "-scale", "0.1", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := harness.ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Generated == "" {
+		t.Error("Generated stamp missing from CLI output")
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run([]string{"-metrics", "-procs", "8", "-pris", "4", "-scale", "0.1", "-q", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-trace", path, "-alg", "SimpleTree", "-procs", "8", "-pris", "4", "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if err := run([]string{"-trace", path, "-alg", "NoSuchAlg", "-procs", "8"}); err == nil {
+		t.Fatal("unknown trace algorithm accepted")
 	}
 }

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pq/internal/simpq"
+	"pq/internal/stats"
+)
+
+// BenchSchema identifies the machine-readable benchmark format emitted
+// by `pqbench -json`. Bump the version on any incompatible change so
+// downstream tooling can fail loudly instead of misreading fields.
+const BenchSchema = "pq-bench/v1"
+
+// BenchFile is the top-level document: one standard-workload run per
+// algorithm under a single machine configuration.
+type BenchFile struct {
+	Schema     string     `json:"schema"`
+	Generated  string     `json:"generated,omitempty"` // RFC 3339, caller-stamped
+	Procs      int        `json:"procs"`
+	Priorities int        `json:"priorities"`
+	Scale      float64    `json:"scale"`
+	Runs       []BenchRun `json:"runs"`
+}
+
+// BenchRun is one algorithm's measurement.
+type BenchRun struct {
+	Algorithm     string `json:"algorithm"`
+	Inserts       int    `json:"inserts"`
+	Deletes       int    `json:"deletes"`
+	FailedDeletes int    `json:"failed_deletes"`
+	// ThroughputOpsPerKCycle is completed operations per thousand
+	// simulated cycles across the whole machine.
+	ThroughputOpsPerKCycle float64            `json:"throughput_ops_per_kcycle"`
+	Insert                 BenchLatency       `json:"insert"`
+	Delete                 BenchLatency       `json:"delete"`
+	Internals              map[string]float64 `json:"internals,omitempty"`
+	Sim                    BenchSim           `json:"sim"`
+}
+
+// BenchLatency summarizes one operation kind's latency distribution, in
+// cycles.
+type BenchLatency struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// BenchSim carries the simulator's run totals.
+type BenchSim struct {
+	FinalTime   int64 `json:"final_time"`
+	Events      int64 `json:"events"`
+	MemOps      int64 `json:"mem_ops"`
+	StallCycles int64 `json:"stall_cycles"`
+	WordsUsed   int   `json:"words_used"`
+}
+
+func benchLatency(s stats.Summary) BenchLatency {
+	return BenchLatency{
+		Count: s.Count, Mean: s.Mean,
+		P50: s.P50, P90: s.P90, P95: s.P95, P99: s.P99, Max: s.Max,
+	}
+}
+
+// RunBenchSuite drives the paper's standard workload for every
+// algorithm at the given machine size and returns the suite document
+// plus the raw per-algorithm results (for histogram rendering). The
+// Generated stamp is left empty for the caller (keeps this function
+// deterministic for tests).
+func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*BenchFile, []simpq.Result, error) {
+	cfg := simpq.DefaultWorkload()
+	cfg.OpsPerProc = scaleOps(cfg.OpsPerProc, scale)
+	cfg.KeepLatencies = true
+	bf := &BenchFile{
+		Schema:     BenchSchema,
+		Procs:      procs,
+		Priorities: pris,
+		Scale:      scale,
+	}
+	results := make([]simpq.Result, 0, len(simpq.Algorithms))
+	for _, alg := range simpq.Algorithms {
+		if progress != nil {
+			progress(fmt.Sprintf("bench %s procs=%d", alg, procs))
+		}
+		r, err := simpq.RunWorkload(alg, procs, pris, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench %s: %w", alg, err)
+		}
+		results = append(results, r)
+		run := BenchRun{
+			Algorithm:     string(alg),
+			Inserts:       r.Inserts,
+			Deletes:       r.Deletes,
+			FailedDeletes: r.FailedDeletes,
+			Insert:        benchLatency(r.InsertSummary),
+			Delete:        benchLatency(r.DeleteSummary),
+			Internals:     r.Internals,
+			Sim: BenchSim{
+				FinalTime:   r.Stats.FinalTime,
+				Events:      r.Stats.Events,
+				MemOps:      r.Stats.MemOps,
+				StallCycles: r.Stats.StallCycles,
+				WordsUsed:   r.Stats.WordsUsed,
+			},
+		}
+		if r.Stats.FinalTime > 0 {
+			run.ThroughputOpsPerKCycle =
+				float64(r.Inserts+r.Deletes) / float64(r.Stats.FinalTime) * 1000
+		}
+		bf.Runs = append(bf.Runs, run)
+	}
+	return bf, results, nil
+}
+
+// Validate checks the document for structural problems: wrong schema,
+// missing algorithms, or runs with impossible totals.
+func (bf *BenchFile) Validate() error {
+	if bf.Schema != BenchSchema {
+		return fmt.Errorf("schema = %q, want %q", bf.Schema, BenchSchema)
+	}
+	if bf.Procs < 1 || bf.Priorities < 1 {
+		return fmt.Errorf("bad machine shape: procs=%d priorities=%d", bf.Procs, bf.Priorities)
+	}
+	seen := map[string]bool{}
+	for i := range bf.Runs {
+		r := &bf.Runs[i]
+		if seen[r.Algorithm] {
+			return fmt.Errorf("duplicate run for %q", r.Algorithm)
+		}
+		seen[r.Algorithm] = true
+		if r.Inserts+r.Deletes <= 0 {
+			return fmt.Errorf("%s: no operations recorded", r.Algorithm)
+		}
+		if r.Insert.Count != r.Inserts || r.Delete.Count != r.Deletes {
+			return fmt.Errorf("%s: latency counts (%d,%d) disagree with op counts (%d,%d)",
+				r.Algorithm, r.Insert.Count, r.Delete.Count, r.Inserts, r.Deletes)
+		}
+		if r.Sim.FinalTime <= 0 || r.Sim.Events <= 0 || r.Sim.MemOps <= 0 {
+			return fmt.Errorf("%s: sim totals not populated", r.Algorithm)
+		}
+		if r.ThroughputOpsPerKCycle <= 0 {
+			return fmt.Errorf("%s: throughput not populated", r.Algorithm)
+		}
+		if len(r.Internals) == 0 {
+			return fmt.Errorf("%s: no internals metrics", r.Algorithm)
+		}
+	}
+	for _, alg := range simpq.Algorithms {
+		if !seen[string(alg)] {
+			return fmt.Errorf("missing run for %q", alg)
+		}
+	}
+	return nil
+}
+
+// ValidateBenchJSON parses and validates raw `pqbench -json` output —
+// the schema check CI runs against the smoke artifact.
+func ValidateBenchJSON(data []byte) (*BenchFile, error) {
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("bench json: %w", err)
+	}
+	if err := bf.Validate(); err != nil {
+		return nil, fmt.Errorf("bench json: %w", err)
+	}
+	return &bf, nil
+}

@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"pq/internal/stats"
+)
+
+func TestLatencyHistogram(t *testing.T) {
+	h := stats.NewHistogram(10, 20, 40)
+	for _, v := range []float64{5, 15, 15, 35, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	LatencyHistogram(&sb, "insert", h)
+	out := sb.String()
+	if !strings.Contains(out, "insert") || !strings.Contains(out, "n=5") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if !strings.Contains(out, ">     40") {
+		t.Fatalf("overflow bucket missing:\n%s", out)
+	}
+	// 4 buckets (3 bounds + overflow) plus header.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("line count = %d, want 5:\n%s", got, out)
+	}
+}
+
+func TestLatencyHistogramEmpty(t *testing.T) {
+	var sb strings.Builder
+	LatencyHistogram(&sb, "none", stats.NewHistogram(1, 2))
+	if !strings.Contains(sb.String(), "(empty)") {
+		t.Fatalf("empty histogram not flagged:\n%s", sb.String())
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	var sb strings.Builder
+	MetricsTable(&sb, []string{"A", "B"}, []map[string]float64{
+		{"combines": 10, "ratio": 0.512345},
+		{"combines": 3},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "combines") {
+		t.Fatalf("metric row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.512") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-cell placeholder absent:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "metric") {
+		t.Fatalf("header row wrong: %q", lines[0])
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -135,7 +136,7 @@ func TestStallsAreDeterministicAndSlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st1 != st2 || sum1 != sum2 {
+	if !reflect.DeepEqual(st1, st2) || sum1 != sum2 {
 		t.Fatalf("faulty runs diverged: %+v/%d vs %+v/%d", st1, sum1, st2, sum2)
 	}
 	if sum1 != sum0 {

@@ -54,6 +54,10 @@ type Machine struct {
 
 	procEvents []int64
 
+	// engine counters for Stats
+	memOps      int64
+	stallCycles int64
+
 	// fault-injection and watchdog state
 	faults       *faultState // nil unless Config.Faults is set
 	lastProgress int64       // cycle of the last Proc.OpDone
@@ -262,7 +266,18 @@ loop:
 		close(m.stop)
 	}
 	m.wg.Wait()
-	return Stats{FinalTime: m.now, Events: m.events, WordsUsed: m.nalloc}, err
+	procOps := make([]int64, len(m.procs))
+	for i, p := range m.procs {
+		procOps[i] = p.ops
+	}
+	return Stats{
+		FinalTime:   m.now,
+		Events:      m.events,
+		WordsUsed:   m.nalloc,
+		MemOps:      m.memOps,
+		StallCycles: m.stallCycles,
+		ProcOps:     procOps,
+	}, err
 }
 
 func (m *Machine) schedule(t int64, proc int32, val uint64) {
@@ -308,23 +323,31 @@ func (m *Machine) handle(p *Proc, r request) {
 	if c.Trace != nil {
 		c.Trace(TraceEvent{Time: m.now, Proc: int(p.id), Op: traceOpFor(r.kind), Addr: r.addr})
 	}
+	if r.kind != reqLocalWork {
+		m.memOps++
+	}
 	switch r.kind {
 	case reqLocalWork:
-		m.schedule(m.now+r.cycles, p.id, 0)
+		done := m.now + r.cycles
+		m.span(p.id, done, PhaseLocalWork, TraceLocalWork, 0)
+		m.schedule(done, p.id, 0)
 
 	case reqRead:
 		w := m.word(r.addr)
 		if w.cached(p.id) {
-			m.schedule(m.now+c.LocalCost, p.id, w.val)
+			done := m.now + c.LocalCost
+			m.span(p.id, done, PhaseLocalAccess, TraceRead, r.addr)
+			m.schedule(done, p.id, w.val)
 			return
 		}
 		done := m.readMiss(r.addr, w)
+		m.noteStall(p.id, done, TraceRead, r.addr)
 		w.setSharer(p.id)
 		m.schedule(done, p.id, w.val)
 
 	case reqWrite:
 		w := m.word(r.addr)
-		done := m.mutateAccess(r.addr, w, p.id)
+		done := m.mutate(r.addr, w, p.id, TraceWrite)
 		old := w.val
 		w.val = r.a
 		w.invalidateExcept(p.id)
@@ -335,7 +358,7 @@ func (m *Machine) handle(p *Proc, r request) {
 
 	case reqSwap:
 		w := m.word(r.addr)
-		done := m.mutateAccess(r.addr, w, p.id)
+		done := m.mutate(r.addr, w, p.id, TraceSwap)
 		old := w.val
 		w.val = r.a
 		w.invalidateExcept(p.id)
@@ -346,7 +369,7 @@ func (m *Machine) handle(p *Proc, r request) {
 
 	case reqCAS:
 		w := m.word(r.addr)
-		done := m.mutateAccess(r.addr, w, p.id)
+		done := m.mutate(r.addr, w, p.id, TraceCAS)
 		if w.val == r.a {
 			w.val = r.b
 			w.invalidateExcept(p.id)
@@ -361,7 +384,7 @@ func (m *Machine) handle(p *Proc, r request) {
 
 	case reqFetchAdd:
 		w := m.word(r.addr)
-		done := m.mutateAccess(r.addr, w, p.id)
+		done := m.mutate(r.addr, w, p.id, TraceFetchAdd)
 		old := w.val
 		w.val = old + r.a
 		w.invalidateExcept(p.id)
@@ -375,10 +398,13 @@ func (m *Machine) handle(p *Proc, r request) {
 		if w.val != r.a {
 			// The probe observes a changed value: charge one read.
 			if w.cached(p.id) {
-				m.schedule(m.now+c.LocalCost, p.id, w.val)
+				done := m.now + c.LocalCost
+				m.span(p.id, done, PhaseLocalAccess, TraceWaitWhile, r.addr)
+				m.schedule(done, p.id, w.val)
 				return
 			}
 			done := m.readMiss(r.addr, w)
+			m.noteStall(p.id, done, TraceWaitWhile, r.addr)
 			w.setSharer(p.id)
 			m.schedule(done, p.id, w.val)
 			return
@@ -393,6 +419,36 @@ func (m *Machine) handle(p *Proc, r request) {
 	}
 }
 
+// span reports an engine-attributed interval starting now; free when no
+// recorder is configured.
+func (m *Machine) span(proc int32, end int64, phase Phase, op TraceOp, addr Addr) {
+	if rec := m.cfg.Spans; rec != nil {
+		rec.RecordSpan(Span{Proc: int(proc), Start: m.now, End: end, Phase: phase, Op: op, Addr: addr})
+	}
+}
+
+// noteStall books a remote access finishing at done as memory-stall time.
+func (m *Machine) noteStall(proc int32, done int64, op TraceOp, addr Addr) {
+	m.stallCycles += done - m.now
+	m.span(proc, done, PhaseMemStall, op, addr)
+}
+
+// mutate charges a write-type access (write, swap, CAS, add). A
+// processor holding the only cached copy owns the line (MESI M state) and
+// mutates it locally; anyone else pays a remote access with occupancy.
+// Parked waiters force the remote path so their wake-up accounting stays
+// attached to the word's home module.
+func (m *Machine) mutate(a Addr, w *word, proc int32, op TraceOp) int64 {
+	if w.cached(proc) && w.soleSharer(proc) && len(w.waiters) == 0 {
+		done := m.now + m.cfg.LocalCost
+		m.span(proc, done, PhaseLocalAccess, op, a)
+		return done
+	}
+	done := m.remoteAccess(a, w)
+	m.noteStall(proc, done, op, a)
+	return done
+}
+
 // readMiss charges a read miss. A line some processor already caches is
 // served cache-to-cache at remote latency without occupying the word's
 // home module; only a line nobody shares goes to the module and queues on
@@ -400,18 +456,6 @@ func (m *Machine) handle(p *Proc, r request) {
 func (m *Machine) readMiss(a Addr, w *word) int64 {
 	if w.anySharer() {
 		return m.now + m.cfg.RemoteCost
-	}
-	return m.remoteAccess(a, w)
-}
-
-// mutateAccess charges a write-type access (write, swap, CAS, add). A
-// processor holding the only cached copy owns the line (MESI M state) and
-// mutates it locally; anyone else pays a remote access with occupancy.
-// Parked waiters force the remote path so their wake-up accounting stays
-// attached to the word's home module.
-func (m *Machine) mutateAccess(a Addr, w *word, proc int32) int64 {
-	if w.cached(proc) && w.soleSharer(proc) && len(w.waiters) == 0 {
-		return m.now + m.cfg.LocalCost
 	}
 	return m.remoteAccess(a, w)
 }
@@ -496,7 +540,14 @@ func (m *Machine) wakeWaiters(addr Addr, writeDone int64) {
 		// queues (MCS) accumulate their latency.
 		m.recordAccess(addr, (start-writeDone)+(m.now-wt.since))
 		w.setSharer(wt.proc)
-		m.schedule(start+m.cfg.WakeCost, wt.proc, w.val)
+		wake := start + m.cfg.WakeCost
+		if rec := m.cfg.Spans; rec != nil {
+			rec.RecordSpan(Span{
+				Proc: int(wt.proc), Start: wt.since, End: wake,
+				Phase: PhaseSpinWait, Op: TraceWaitWhile, Addr: addr,
+			})
+		}
+		m.schedule(wake, wt.proc, w.val)
 	}
 	w.waiters = kept
 }

@@ -134,6 +134,24 @@ func (p *Proc) OpDone() {
 	p.m.noteProgress(p)
 }
 
+// AppSpan attributes the interval from start to the current cycle to an
+// application-level phase (combining, lock-wait) on the configured span
+// recorder. It costs no simulated cycles and is free when tracing is off.
+func (p *Proc) AppSpan(phase Phase, start int64) {
+	if rec := p.m.cfg.Spans; rec != nil && p.now > start {
+		rec.RecordSpan(Span{Proc: int(p.id), Start: start, End: p.now, Phase: phase})
+	}
+}
+
+// OpSpan reports one completed application-level operation (e.g. an
+// insert or delete-min) spanning start to the current cycle. It costs no
+// simulated cycles and is free when tracing is off.
+func (p *Proc) OpSpan(kind string, start int64) {
+	if rec := p.m.cfg.Spans; rec != nil {
+		rec.RecordOpSpan(int(p.id), kind, start, p.now)
+	}
+}
+
 func (p *Proc) send(r request) {
 	if r.kind != reqDone {
 		p.lastKind, p.lastAddr = r.kind, r.addr

@@ -78,6 +78,79 @@ type Config struct {
 	// order, before the operation's effect is applied). Tracing costs no
 	// simulated cycles.
 	Trace func(TraceEvent)
+	// Spans, when non-nil, receives phase-attributed time spans for every
+	// serviced operation (and application-attributed spans via
+	// Proc.AppSpan/OpSpan). Recording happens while the recorder's caller
+	// holds the execution baton, so implementations need no locking, and
+	// it costs no simulated cycles: a traced run's FinalTime is identical
+	// to an untraced one. See internal/trace for the standard collector.
+	Spans SpanRecorder
+}
+
+// Phase classifies where a span of simulated time went.
+type Phase uint8
+
+// Span phases. The engine attributes LocalWork, LocalAccess, MemStall and
+// SpinWait; Combining and LockWait are attributed by the simulated
+// program through Proc.AppSpan.
+const (
+	PhaseLocalWork   Phase = iota + 1 // private computation (Proc.LocalWork)
+	PhaseLocalAccess                  // cache-hit memory access
+	PhaseMemStall                     // remote access, incl. occupancy queueing
+	PhaseSpinWait                     // parked in WaitWhile until woken
+	PhaseCombining                    // app: inside a combining-funnel pass
+	PhaseLockWait                     // app: waiting to acquire a lock
+)
+
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseLocalWork:
+		return "local-work"
+	case PhaseLocalAccess:
+		return "local-access"
+	case PhaseMemStall:
+		return "mem-stall"
+	case PhaseSpinWait:
+		return "spin-wait"
+	case PhaseCombining:
+		return "combining"
+	case PhaseLockWait:
+		return "lock-wait"
+	default:
+		return "unknown"
+	}
+}
+
+// Phases lists every phase in declaration order, for deterministic
+// iteration by reporters.
+var Phases = []Phase{
+	PhaseLocalWork, PhaseLocalAccess, PhaseMemStall,
+	PhaseSpinWait, PhaseCombining, PhaseLockWait,
+}
+
+// Span is one attributed interval of a processor's simulated time.
+type Span struct {
+	// Proc is the processor the time belongs to.
+	Proc int
+	// Start and End bound the interval in simulated cycles.
+	Start, End int64
+	// Phase says where the time went.
+	Phase Phase
+	// Op and Addr identify the memory operation for engine-attributed
+	// spans (Op is zero for application-attributed ones).
+	Op   TraceOp
+	Addr Addr
+}
+
+// SpanRecorder receives attributed spans and operation-level spans from a
+// run. Both methods are called in deterministic order and must not invoke
+// the simulator.
+type SpanRecorder interface {
+	// RecordSpan receives one phase-attributed span.
+	RecordSpan(Span)
+	// RecordOpSpan receives one application-level operation span (e.g.
+	// one insert or delete-min), named by kind.
+	RecordOpSpan(proc int, kind string, start, end int64)
 }
 
 // TraceOp identifies the kind of a traced memory operation.
@@ -207,4 +280,13 @@ type Stats struct {
 	Events int64
 	// WordsUsed is the high-water mark of allocated memory words.
 	WordsUsed int
+	// MemOps is the total number of memory operations serviced (reads,
+	// writes, atomics, and WaitWhile probes; LocalWork excluded).
+	MemOps int64
+	// StallCycles is the total cycles processors spent blocked in remote
+	// memory accesses, including occupancy queueing at hot words.
+	StallCycles int64
+	// ProcOps counts tracked application-level operations (Proc.OpDone)
+	// per processor; all zeros for programs that never call OpDone.
+	ProcOps []int64
 }

@@ -25,6 +25,13 @@ func NewBin(m *sim.Machine, capacity int) *Bin {
 	return b
 }
 
+// Metrics reports the bin's lock counters (prefix "lock").
+func (b *Bin) Metrics() Metrics {
+	m := Metrics{}
+	m.add("lock", b.lock.Metrics())
+	return m
+}
+
 // Insert adds e to the bin. Like the paper's bin-insert, it silently drops
 // the element if the bin is full; callers size bins so this cannot happen
 // and tests assert it does not. It reports whether the element was stored.
@@ -76,6 +83,13 @@ func NewCounter(m *sim.Machine) *Counter {
 	c := &Counter{lock: NewMCSLock(m), val: m.Alloc(1)}
 	m.Label(c.val, 1, "counter.val")
 	return c
+}
+
+// Metrics reports the counter's lock counters (prefix "lock").
+func (c *Counter) Metrics() Metrics {
+	m := Metrics{}
+	m.add("lock", c.lock.Metrics())
+	return m
 }
 
 // FaI atomically increments the counter and returns the previous value.

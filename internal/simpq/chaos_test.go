@@ -2,6 +2,7 @@ package simpq
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"pq/internal/order"
@@ -42,7 +43,7 @@ func TestChaosBitDeterminism(t *testing.T) {
 		if a.Digest != b.Digest {
 			t.Fatalf("%s: history digests diverged: %#x vs %#x", alg, a.Digest, b.Digest)
 		}
-		if a.Latency.Stats != b.Latency.Stats {
+		if !reflect.DeepEqual(a.Latency.Stats, b.Latency.Stats) {
 			t.Fatalf("%s: final stats diverged: %+v vs %+v", alg, a.Latency.Stats, b.Latency.Stats)
 		}
 		if a.Completed != b.Completed || len(a.History) != len(b.History) || len(a.Pending) != len(b.Pending) {

@@ -106,6 +106,41 @@ type funnel struct {
 	params FunnelParams
 	layers []sim.Addr // one array per layer
 	recs   []*funnelRec
+
+	// Host-side internals counters (no simulated cost): how collision
+	// passes resolved. The paper's mechanisms — combining and elimination
+	// rates — are read from these.
+	stats funnelStats
+}
+
+// funnelStats counts collision-protocol outcomes.
+type funnelStats struct {
+	passes       int64 // collide calls
+	attempts     int64 // layer slots probed (swaps)
+	combines     int64 // another record captured into this tree
+	captured     int64 // this record captured by another tree
+	eliminations int64 // reversing trees met and short-cut
+	bypasses     int64 // low-load shortcuts straight to the central object
+}
+
+// Metrics reports collision-protocol counters plus the summed adaption
+// factor over this funnel's processor records ("adaption_factor_sum" /
+// "records"; aggregate with Metrics.finishFactor).
+func (f *funnel) Metrics() Metrics {
+	var factorSum float64
+	for _, r := range f.recs {
+		factorSum += r.factor
+	}
+	return Metrics{
+		"passes":              float64(f.stats.passes),
+		"attempts":            float64(f.stats.attempts),
+		"combines":            float64(f.stats.combines),
+		"captured":            float64(f.stats.captured),
+		"eliminations":        float64(f.stats.eliminations),
+		"bypasses":            float64(f.stats.bypasses),
+		"adaption_factor_sum": factorSum,
+		"records":             float64(len(f.recs)),
+	}
 }
 
 func newFunnel(m *sim.Machine, params FunnelParams) *funnel {
@@ -145,6 +180,9 @@ const (
 // record (the caller completes the elimination). The returned layer is the
 // layer the processor stopped at, and newSum the possibly grown tree sum.
 func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool, start int) (outcome collideOutcome, other *funnelRec, layer int, newSum int64) {
+	f.stats.passes++
+	t0 := p.Now()
+	defer p.AppSpan(sim.PhaseCombining, t0)
 	levels := f.params.levels()
 	attempts := f.params.Attempts
 	width := make([]int, levels)
@@ -173,20 +211,24 @@ func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool
 		// contention so it is better to simply apply the operation and be
 		// done", Section 3.1). Central contention revives the factor, so
 		// this is self-correcting.
+		f.stats.bypasses++
 		return outExit, nil, 0, mySum
 	}
 	d := start
 	for n := 0; n < attempts && d < levels; n++ {
 		slot := sim.Addr(p.Rand(width[d]))
+		f.stats.attempts++
 		qv := p.Swap(f.layers[d]+slot, uint64(p.ID())+1)
 		if qv != 0 && int(qv-1) != p.ID() {
 			q := f.recs[qv-1]
 			if !p.CAS(my.addr+frLocation, locCode(d), 0) {
+				f.stats.captured++
 				return outCaptured, nil, d, mySum
 			}
 			if p.CAS(q.addr+frLocation, locCode(d), 0) {
 				qSum := int64(p.Read(q.addr + frSum))
 				if eliminate && qSum+mySum == 0 {
+					f.stats.eliminations++
 					my.combined = true // elimination is a productive collision
 					return outEliminated, q, d, mySum
 				}
@@ -194,6 +236,7 @@ func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool
 				// same-direction collision is always a legal combine; with
 				// elimination disabled (unbounded mode) any collision
 				// combines, since unbounded fetch-and-add commutes.
+				f.stats.combines++
 				mySum += qSum
 				p.Write(my.addr+frSum, uint64(mySum))
 				my.children = append(my.children, childRef{rec: q, sum: qSum})
@@ -209,6 +252,7 @@ func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool
 		// Linger, hoping to be collided with (lines 25-26).
 		p.LocalWork(spin[d])
 		if p.Read(my.addr+frLocation) != locCode(d) {
+			f.stats.captured++
 			return outCaptured, nil, d, mySum
 		}
 	}

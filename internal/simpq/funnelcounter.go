@@ -31,6 +31,19 @@ type FunnelCounterStats struct {
 	CentralFail  int
 }
 
+// Metrics reports the counter's internals: funnel collision counters
+// (prefix "funnel") plus how operations retired at the central word.
+func (c *FunnelCounter) Metrics() Metrics {
+	m := Metrics{
+		"captured":     float64(c.Stats.Captured),
+		"eliminations": float64(c.Stats.Eliminations),
+		"central_ok":   float64(c.Stats.CentralOK),
+		"central_fail": float64(c.Stats.CentralFail),
+	}
+	m.add("funnel", c.f.Metrics())
+	return m
+}
+
 // NoUpperBound disables the upper bound of a bounded counter.
 const NoUpperBound = uint64(1) << 58
 

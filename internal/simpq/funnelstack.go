@@ -27,6 +27,37 @@ type FunnelStack struct {
 	// dropped counts items lost to capacity overflow (test diagnostics;
 	// workloads size the stack so this stays zero).
 	dropped int
+
+	// Host-side internals counters (no simulated cost).
+	stats funnelStackStats
+}
+
+// funnelStackStats counts how stack operations retired.
+type funnelStackStats struct {
+	pushes         int64
+	pops           int64
+	failedPops     int64 // pops that found the central storage dry
+	eliminatedOps  int64 // operations completed entirely by elimination
+	centralBatches int64 // lock acquisitions that applied a batch
+	centralOps     int64 // operations applied across those batches
+}
+
+// Metrics reports the stack's internals: funnel collision counters
+// (prefix "funnel"), central-lock wait/hold (prefix "central_lock"), and
+// how operations retired.
+func (s *FunnelStack) Metrics() Metrics {
+	m := Metrics{
+		"pushes":          float64(s.stats.pushes),
+		"pops":            float64(s.stats.pops),
+		"failed_pops":     float64(s.stats.failedPops),
+		"eliminated_ops":  float64(s.stats.eliminatedOps),
+		"central_batches": float64(s.stats.centralBatches),
+		"central_ops":     float64(s.stats.centralOps),
+		"dropped":         float64(s.dropped),
+	}
+	m.add("funnel", s.f.Metrics())
+	m.add("central_lock", s.lock.Metrics())
+	return m
 }
 
 // NewFunnelStack builds a LIFO funnel stack with room for capacity items.
@@ -62,6 +93,7 @@ func (s *FunnelStack) Empty(p *sim.Proc) bool { return p.Read(s.size) == 0 }
 
 // Push adds an item to the stack.
 func (s *FunnelStack) Push(p *sim.Proc, item uint64) {
+	s.stats.pushes++
 	my := s.f.recs[p.ID()]
 	p.Write(my.addr+frItem, item)
 	s.run(p, 1)
@@ -71,7 +103,11 @@ func (s *FunnelStack) Push(p *sim.Proc, item uint64) {
 // concurrent elimination cannot cause: an eliminated pop always receives
 // an item).
 func (s *FunnelStack) Pop(p *sim.Proc) (uint64, bool) {
+	s.stats.pops++
 	v, ok := s.run(p, -1)
+	if !ok {
+		s.stats.failedPops++
+	}
 	return v, ok
 }
 
@@ -95,6 +131,7 @@ func (s *FunnelStack) run(p *sim.Proc, dir int64) (uint64, bool) {
 			return v, !fail
 
 		case outEliminated:
+			s.stats.eliminatedOps += 2 * int64(len(my.members))
 			return s.eliminate(p, my, q, dir)
 
 		case outExit:
@@ -146,6 +183,8 @@ func (s *FunnelStack) eliminate(p *sim.Proc, my, q *funnelRec, dir int64) (uint6
 // ring: LIFO mode pops from the tail, FIFO mode pops from the head.
 func (s *FunnelStack) applyCentral(p *sim.Proc, my *funnelRec, dir int64) (uint64, bool) {
 	k := len(my.members)
+	s.stats.centralBatches++
+	s.stats.centralOps += int64(k)
 	var ownVal uint64
 	ownOK := true
 

@@ -28,6 +28,11 @@ type FunnelTree struct {
 	nleaves  int
 	counters []treeCounter // 1-based, len nleaves
 	bins     []*FunnelStack
+
+	// Host-side internals counters (no simulated cost).
+	descents   int64 // DeleteMin root-to-leaf traversals
+	rightTurns int64 // descent steps that found a zero counter (went right)
+	increments int64 // counter increments performed by inserts
 }
 
 // NewFunnelTree builds the tree queue with the default funnel cut-off.
@@ -104,6 +109,37 @@ func level(i int) int {
 // NumPriorities reports the fixed priority range.
 func (q *FunnelTree) NumPriorities() int { return q.npri }
 
+// Metrics reports counter-traversal counts plus the summed internals of
+// the funnel counters (prefix "counter"), the deeper lock-based counters
+// (prefix "counter_lock"), and the leaf funnel stacks (prefix "bin") —
+// the combining/elimination rates at the hot top levels are the
+// mechanism this algorithm adds over SimpleTree.
+func (q *FunnelTree) Metrics() Metrics {
+	m := Metrics{
+		"descents":    float64(q.descents),
+		"right_turns": float64(q.rightTurns),
+		"increments":  float64(q.increments),
+	}
+	if q.descents > 0 {
+		// Every descent traverses log2(nleaves) counters by construction.
+		m["counter_traversals"] = float64(q.descents) * float64(treeDepth(q.nleaves))
+	}
+	for _, c := range q.counters[1:] {
+		switch tc := c.(type) {
+		case *FunnelCounter:
+			m.addSum("counter", tc.Metrics())
+		case simpleTreeCounter:
+			m.addSum("counter_lock", tc.c.Metrics())
+		}
+	}
+	for _, b := range q.bins {
+		m.addSum("bin", b.Metrics())
+	}
+	m.finishFactor("counter.funnel")
+	m.finishFactor("bin.funnel")
+	return m
+}
+
 // Insert pushes val onto its leaf stack and ascends, incrementing every
 // counter reached from the left.
 func (q *FunnelTree) Insert(p *sim.Proc, pri int, val uint64) {
@@ -112,6 +148,7 @@ func (q *FunnelTree) Insert(p *sim.Proc, pri int, val uint64) {
 	for n > 1 {
 		parent := n / 2
 		if n == 2*parent {
+			q.increments++
 			q.counters[parent].FaI(p)
 		}
 		n = parent
@@ -121,11 +158,13 @@ func (q *FunnelTree) Insert(p *sim.Proc, pri int, val uint64) {
 // DeleteMin descends from the root by bounded fetch-and-decrement and pops
 // the reached leaf's stack.
 func (q *FunnelTree) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.descents++
 	n := 1
 	for n < q.nleaves {
 		if q.counters[n].BFaD(p) > 0 {
 			n = 2 * n
 		} else {
+			q.rightTurns++
 			n = 2*n + 1
 		}
 	}

@@ -33,6 +33,31 @@ type Hunt struct {
 	// trace, when non-nil, records structural transitions for debugging;
 	// it costs no simulated cycles.
 	trace *[]string
+
+	// Host-side internals counters (no simulated cost).
+	stats huntStats
+}
+
+// huntStats counts heap-restructuring work.
+type huntStats struct {
+	bubbleSteps int64 // node swaps during bottom-up insertion bubbling
+	siftSteps   int64 // node swaps during top-down deletion sifting
+	adoptions   int64 // in-flight items relocated and adopted by a deleter
+	parentWaits int64 // bubbles parked behind another in-flight insertion
+}
+
+// Metrics reports heap-restructuring counters plus the size lock's
+// acquire/wait/hold cycles (prefix "size_lock") — the serialization
+// point the paper blames for this algorithm's scaling ceiling.
+func (q *Hunt) Metrics() Metrics {
+	m := Metrics{
+		"bubble_steps": float64(q.stats.bubbleSteps),
+		"sift_steps":   float64(q.stats.siftSteps),
+		"adoptions":    float64(q.stats.adoptions),
+		"parent_waits": float64(q.stats.parentWaits),
+	}
+	m.add("size_lock", q.lock.Metrics())
+	return m
 }
 
 // Node tags. Values >= huntTagPid are processor ids + huntTagPid.
@@ -114,6 +139,7 @@ func (q *Hunt) Insert(p *sim.Proc, pri int, val uint64) {
 		q.locks[i].Acquire(p)
 		it := p.Read(q.tagAddr(i))
 		if it != mypid {
+			q.stats.adoptions++
 			// A deletion relocated and adopted our item; it is placed.
 			q.locks[i].Release(p)
 			q.locks[parent].Release(p)
@@ -125,6 +151,7 @@ func (q *Hunt) Insert(p *sim.Proc, pri int, val uint64) {
 			ppri := p.Read(q.priAddr(parent))
 			ipri := p.Read(q.priAddr(i))
 			if ipri < ppri {
+				q.stats.bubbleSteps++
 				q.swapNodes(p, i, parent)
 				q.locks[i].Release(p)
 				q.locks[parent].Release(p)
@@ -150,6 +177,7 @@ func (q *Hunt) Insert(p *sim.Proc, pri int, val uint64) {
 			// being waited for.
 			q.locks[i].Release(p)
 			q.locks[parent].Release(p)
+			q.stats.parentWaits++
 			p.WaitWhile(q.tagAddr(parent), pt)
 		}
 	}
@@ -267,6 +295,7 @@ func (q *Hunt) DeleteMin(p *sim.Proc) (uint64, bool) {
 			q.locks[l].Release(p)
 			break
 		}
+		q.stats.siftSteps++
 		q.swapNodes(p, i, child)
 		// Release everything except the child we descend into.
 		if rLocked && child != r {

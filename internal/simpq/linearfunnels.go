@@ -8,6 +8,11 @@ import "pq/internal/sim"
 // funnel traversal.
 type LinearFunnels struct {
 	bins []*FunnelStack
+
+	// Host-side internals counters (no simulated cost).
+	scans       int64 // DeleteMin calls
+	scannedBins int64 // bins examined across all scans
+	failedScans int64 // scans that reached the end without an item
 }
 
 // NewLinearFunnels builds the queue with npri funnel stacks.
@@ -33,6 +38,25 @@ func NewLinearFunnelsDiscipline(m *sim.Machine, npri, maxItems int, params Funne
 // NumPriorities reports the fixed priority range.
 func (q *LinearFunnels) NumPriorities() int { return len(q.bins) }
 
+// Metrics reports delete-min scan lengths plus the summed funnel-stack
+// internals of all bins (prefix "bin") — the combining and elimination
+// rates are the mechanism behind this queue's scaling.
+func (q *LinearFunnels) Metrics() Metrics {
+	m := Metrics{
+		"scans":        float64(q.scans),
+		"scanned_bins": float64(q.scannedBins),
+		"failed_scans": float64(q.failedScans),
+	}
+	if q.scans > 0 {
+		m["scan_len_mean"] = float64(q.scannedBins) / float64(q.scans)
+	}
+	for _, b := range q.bins {
+		m.addSum("bin", b.Metrics())
+	}
+	m.finishFactor("bin.funnel")
+	return m
+}
+
 // Insert pushes val onto its priority's stack.
 func (q *LinearFunnels) Insert(p *sim.Proc, pri int, val uint64) {
 	q.bins[pri].Push(p, val)
@@ -41,7 +65,9 @@ func (q *LinearFunnels) Insert(p *sim.Proc, pri int, val uint64) {
 // DeleteMin scans stacks from the smallest priority, popping from the
 // first that looks non-empty.
 func (q *LinearFunnels) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.scans++
 	for _, b := range q.bins {
+		q.scannedBins++
 		if b.Empty(p) {
 			continue
 		}
@@ -49,6 +75,7 @@ func (q *LinearFunnels) DeleteMin(p *sim.Proc) (uint64, bool) {
 			return e, true
 		}
 	}
+	q.failedScans++
 	return 0, false
 }
 

@@ -9,6 +9,25 @@ import "pq/internal/sim"
 type MCSLock struct {
 	tail  sim.Addr // 0 = free, else qnode address + 1
 	nodes sim.Addr // procs * 2 words: [next, locked] per processor
+
+	// Host-side internals counters (no simulated cost). The single-baton
+	// engine serializes all calls, so plain fields suffice; holdFrom is
+	// well-defined because exactly one processor holds the lock.
+	acquires   int64
+	contended  int64 // acquires that found a predecessor queued
+	waitCycles int64 // cycles from acquire start to lock held
+	holdCycles int64 // cycles from lock held to release start
+	holdFrom   int64
+}
+
+// Metrics reports the lock's accumulated acquire/wait/hold counters.
+func (l *MCSLock) Metrics() Metrics {
+	return Metrics{
+		"acquires":    float64(l.acquires),
+		"contended":   float64(l.contended),
+		"wait_cycles": float64(l.waitCycles),
+		"hold_cycles": float64(l.holdCycles),
+	}
 }
 
 const (
@@ -30,10 +49,12 @@ func (l *MCSLock) node(p *sim.Proc) sim.Addr {
 
 // Acquire blocks until the calling processor holds the lock.
 func (l *MCSLock) Acquire(p *sim.Proc) {
+	start := p.Now()
 	n := l.node(p)
 	p.Write(n+mcsNext, 0)
 	pred := p.Swap(l.tail, uint64(n)+1)
 	if pred == 0 {
+		l.acquired(p, start)
 		return
 	}
 	p.Write(n+mcsLocked, 1)
@@ -41,10 +62,22 @@ func (l *MCSLock) Acquire(p *sim.Proc) {
 	for p.Read(n+mcsLocked) == 1 {
 		p.WaitWhile(n+mcsLocked, 1)
 	}
+	l.contended++
+	p.AppSpan(sim.PhaseLockWait, start)
+	l.acquired(p, start)
+}
+
+// acquired books the completed acquisition's wait time and opens the
+// hold interval.
+func (l *MCSLock) acquired(p *sim.Proc, start int64) {
+	l.acquires++
+	l.waitCycles += p.Now() - start
+	l.holdFrom = p.Now()
 }
 
 // Release passes the lock to the next waiter, if any.
 func (l *MCSLock) Release(p *sim.Proc) {
+	l.holdCycles += p.Now() - l.holdFrom
 	n := l.node(p)
 	next := p.Read(n + mcsNext)
 	if next == 0 {

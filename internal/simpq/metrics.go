@@ -1,0 +1,64 @@
+package simpq
+
+import "sort"
+
+// Metrics is a point-in-time snapshot of a component's internals
+// counters, keyed by dotted metric name (e.g. "funnel.eliminations").
+// Counters live in native Go state, never in simulated memory, so
+// collecting them perturbs neither the cost model nor determinism: a
+// metered run is cycle-identical to an unmetered one.
+type Metrics map[string]float64
+
+// MetricsSource is implemented by queues and substrates that expose
+// internals counters. Snapshots are only meaningful after Run returns.
+type MetricsSource interface {
+	Metrics() Metrics
+}
+
+// MetricsOf snapshots q's internals metrics, or returns nil if the queue
+// exposes none.
+func MetricsOf(q Queue) Metrics {
+	if ms, ok := q.(MetricsSource); ok {
+		return ms.Metrics()
+	}
+	return nil
+}
+
+// Names returns the metric names in sorted order, for deterministic
+// rendering.
+func (m Metrics) Names() []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// add merges src into m under a dotted prefix, overwriting existing keys.
+func (m Metrics) add(prefix string, src Metrics) {
+	for k, v := range src {
+		m[prefix+"."+k] = v
+	}
+}
+
+// addSum accumulates src into m under a dotted prefix — the aggregation
+// used when a queue owns many components of the same kind (one lock per
+// bin, one funnel per stack).
+func (m Metrics) addSum(prefix string, src Metrics) {
+	for k, v := range src {
+		m[prefix+"."+k] += v
+	}
+}
+
+// finishFactor converts the summed adaption-factor accounting produced
+// by addSum into a mean: funnels report "adaption_factor_sum" over
+// "records" processor records, and aggregated queues want one mean.
+func (m Metrics) finishFactor(prefix string) {
+	sumKey, nKey := prefix+".adaption_factor_sum", prefix+".records"
+	if n := m[nKey]; n > 0 {
+		m[prefix+".adaption_factor_mean"] = m[sumKey] / n
+	}
+	delete(m, sumKey)
+	delete(m, nKey)
+}

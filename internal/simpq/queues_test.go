@@ -1,6 +1,7 @@
 package simpq
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -300,7 +301,7 @@ func TestQueueDeterministicLatency(t *testing.T) {
 		return r
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic workload results:\n%+v\n%+v", a, b)
 	}
 }

@@ -8,6 +8,11 @@ import "pq/internal/sim"
 // look non-empty.
 type SimpleLinear struct {
 	bins []*Bin
+
+	// Host-side internals counters (no simulated cost).
+	scans       int64 // DeleteMin calls
+	scannedBins int64 // bins examined across all scans
+	failedScans int64 // scans that reached the end without an item
 }
 
 // NewSimpleLinear builds the queue with npri bins of capacity maxItems.
@@ -22,6 +27,24 @@ func NewSimpleLinear(m *sim.Machine, npri, maxItems int) *SimpleLinear {
 // NumPriorities reports the fixed priority range.
 func (q *SimpleLinear) NumPriorities() int { return len(q.bins) }
 
+// Metrics reports delete-min scan lengths plus the summed per-bin lock
+// cycles (prefix "bin_lock") — scan length is the mechanism behind this
+// queue's sensitivity to the priority range.
+func (q *SimpleLinear) Metrics() Metrics {
+	m := Metrics{
+		"scans":        float64(q.scans),
+		"scanned_bins": float64(q.scannedBins),
+		"failed_scans": float64(q.failedScans),
+	}
+	if q.scans > 0 {
+		m["scan_len_mean"] = float64(q.scannedBins) / float64(q.scans)
+	}
+	for _, b := range q.bins {
+		m.addSum("bin", b.Metrics())
+	}
+	return m
+}
+
 // Insert adds val at priority pri.
 func (q *SimpleLinear) Insert(p *sim.Proc, pri int, val uint64) {
 	q.bins[pri].Insert(p, val)
@@ -30,7 +53,9 @@ func (q *SimpleLinear) Insert(p *sim.Proc, pri int, val uint64) {
 // DeleteMin scans bins from the smallest priority and removes an element
 // from the first non-empty bin it can.
 func (q *SimpleLinear) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.scans++
 	for _, b := range q.bins {
+		q.scannedBins++
 		if b.Empty(p) {
 			continue
 		}
@@ -38,6 +63,7 @@ func (q *SimpleLinear) DeleteMin(p *sim.Proc) (uint64, bool) {
 			return e, true
 		}
 	}
+	q.failedScans++
 	return 0, false
 }
 

@@ -16,6 +16,11 @@ type SimpleTree struct {
 	nleaves  int
 	counters []*Counter // 1-based: counters[1] is the root, len = nleaves
 	bins     []*Bin     // one per leaf
+
+	// Host-side internals counters (no simulated cost).
+	descents   int64 // DeleteMin root-to-leaf traversals
+	rightTurns int64 // descent steps that found a zero counter (went right)
+	increments int64 // counter increments performed by inserts
 }
 
 // NewSimpleTree builds the tree queue with npri priorities and per-bin
@@ -40,6 +45,38 @@ func NewSimpleTree(m *sim.Machine, npri, maxItems int) *SimpleTree {
 // NumPriorities reports the fixed priority range.
 func (q *SimpleTree) NumPriorities() int { return q.npri }
 
+// Metrics reports counter-traversal counts plus the summed counter and
+// bin lock cycles (prefixes "counter_lock", "bin_lock") — root-counter
+// serialization is the mechanism the funnel tree removes.
+func (q *SimpleTree) Metrics() Metrics {
+	m := Metrics{
+		"descents":    float64(q.descents),
+		"right_turns": float64(q.rightTurns),
+		"increments":  float64(q.increments),
+	}
+	if q.descents > 0 {
+		// Every descent traverses log2(nleaves) counters by construction.
+		m["counter_traversals"] = float64(q.descents) * float64(treeDepth(q.nleaves))
+	}
+	for _, c := range q.counters[1:] {
+		m.addSum("counter", c.Metrics())
+	}
+	for _, b := range q.bins {
+		m.addSum("bin", b.Metrics())
+	}
+	return m
+}
+
+// treeDepth returns log2 of a power of two.
+func treeDepth(n int) int {
+	d := 0
+	for n > 1 {
+		n /= 2
+		d++
+	}
+	return d
+}
+
 // Insert adds val at priority pri: bin first, then bottom-up counter
 // increments (top-down insertion would race deletions, as the paper
 // notes).
@@ -50,6 +87,7 @@ func (q *SimpleTree) Insert(p *sim.Proc, pri int, val uint64) {
 	for n > 1 {
 		parent := n / 2
 		if n == 2*parent { // ascending from the left child
+			q.increments++
 			q.counters[parent].FaI(p)
 		}
 		n = parent
@@ -59,11 +97,13 @@ func (q *SimpleTree) Insert(p *sim.Proc, pri int, val uint64) {
 // DeleteMin descends from the root: a successful bounded decrement means
 // an item is reserved in the left subtree; otherwise go right.
 func (q *SimpleTree) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.descents++
 	n := 1
 	for n < q.nleaves {
 		if q.counters[n].BFaD(p, 0) > 0 {
 			n = 2 * n
 		} else {
+			q.rightTurns++
 			n = 2*n + 1
 		}
 	}

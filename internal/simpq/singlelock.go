@@ -33,6 +33,14 @@ func NewSingleLock(m *sim.Machine, npri, maxItems int) *SingleLock {
 // NumPriorities reports the fixed priority range.
 func (q *SingleLock) NumPriorities() int { return q.npri }
 
+// Metrics reports the global lock's acquire/wait/hold counters — the
+// convoy behind this baseline's flat-at-best scaling curve.
+func (q *SingleLock) Metrics() Metrics {
+	m := Metrics{}
+	m.add("lock", q.lock.Metrics())
+	return m
+}
+
 func (q *SingleLock) pri(p *sim.Proc, i uint64) uint64 { return p.Read(q.pris + sim.Addr(i)) }
 func (q *SingleLock) val(p *sim.Proc, i uint64) uint64 { return p.Read(q.vals + sim.Addr(i)) }
 func (q *SingleLock) set(p *sim.Proc, i, pr, v uint64) {

@@ -31,6 +31,33 @@ type SkipList struct {
 	// trace, when non-nil, records structural transitions for debugging;
 	// it costs no simulated cycles.
 	trace *[]string
+
+	// Host-side internals counters (no simulated cost).
+	stats skipStats
+}
+
+// skipStats counts list-restructuring work and delete-path contention.
+type skipStats struct {
+	threads  int64 // links threaded into the list by inserters
+	refills  int64 // delete-bin refills (unthread + publish)
+	retries  int64 // DeleteMin loop restarts (bin raced empty, CAS lost...)
+	refWaits int64 // deleters parked behind a concurrent refill
+}
+
+// Metrics reports restructuring counters plus the summed per-bin lock
+// cycles (prefix "bin_lock") — delete-bin refill frequency is the
+// mechanism metric behind this queue's delete-min latency.
+func (q *SkipList) Metrics() Metrics {
+	m := Metrics{
+		"threads":      float64(q.stats.threads),
+		"refills":      float64(q.stats.refills),
+		"retries":      float64(q.stats.retries),
+		"refill_waits": float64(q.stats.refWaits),
+	}
+	for _, b := range q.bins {
+		m.addSum("bin", b.Metrics())
+	}
+	return m
 }
 
 type skipLink struct {
@@ -98,6 +125,7 @@ func (q *SkipList) Insert(p *sim.Proc, pri int, val uint64) {
 	if st == slUnthreaded && p.CAS(q.links[pri].lstate, slUnthreaded, slThreading) {
 		q.tracef(p, "claimed key=%d", pri)
 		q.thread(p, pri)
+		q.stats.threads++
 		p.Write(q.links[pri].lstate, slThreaded)
 		q.tracef(p, "threaded key=%d", pri)
 	}
@@ -230,7 +258,10 @@ func (q *SkipList) unthread(p *sim.Proc, key int) {
 // DeleteMin removes an element from the delete bin, refilling it from the
 // first threaded link when it runs dry.
 func (q *SkipList) DeleteMin(p *sim.Proc) (uint64, bool) {
-	for {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			q.stats.retries++
+		}
 		db := p.Read(q.delBin)
 		if db != 0 {
 			if e, ok := q.bins[db-1].Delete(p); ok {
@@ -263,6 +294,7 @@ func (q *SkipList) DeleteMin(p *sim.Proc) (uint64, bool) {
 			}
 			q.tracef(p, "unthread-start key=%d", key)
 			q.unthread(p, key)
+			q.stats.refills++
 			p.Write(q.delBin, uint64(key)+1)
 			p.Write(q.links[key].lstate, slUnthreaded)
 			q.tracef(p, "unthread-done key=%d (delBin=%d)", key, key+1)
@@ -273,6 +305,7 @@ func (q *SkipList) DeleteMin(p *sim.Proc) (uint64, bool) {
 		// lock holder may conclude the queue is empty — mid-refill the
 		// list head is transiently nil while the delete bin is not yet
 		// published, and that must not read as emptiness.
+		q.stats.refWaits++
 		p.WaitWhile(q.delLock.word, 1)
 	}
 }

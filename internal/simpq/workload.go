@@ -89,6 +89,27 @@ type Result struct {
 	// AllSummary, InsertSummary and DeleteSummary are full latency
 	// distributions, populated when WorkloadConfig.KeepLatencies is set.
 	AllSummary, InsertSummary, DeleteSummary stats.Summary
+	// InsertHist and DeleteHist are per-operation latency histograms over
+	// DefaultLatencyBounds, populated when KeepLatencies is set.
+	InsertHist, DeleteHist *stats.Histogram
+	// Internals carries the queue's mechanism counters (combines,
+	// eliminations, lock waits, scan lengths...) when it implements
+	// MetricsSource; nil otherwise.
+	Internals Metrics
+}
+
+// DefaultLatencyBounds returns the exponential bucket bounds (in cycles)
+// used for per-operation latency histograms: 100, 200, 400, ... 409600.
+// An MCS handoff costs a few remote accesses (~hundreds of cycles), so
+// the range spans "uncontended" to "convoyed behind hundreds of peers".
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 13)
+	b := 100.0
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
 }
 
 // barrier is a sense-free arrival barrier on simulated memory for the
@@ -201,6 +222,7 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 			start := p.Now()
 			if float64(p.Rand(1<<16))/(1<<16) < cfg.InsertFraction {
 				q.Insert(p, p.Rand(npri), uint64(id)<<32|uint64(i))
+				p.OpSpan("insert", start)
 				lat := p.Now() - start
 				t.insertCycles += lat
 				t.inserts++
@@ -209,6 +231,7 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 				}
 			} else {
 				_, ok := q.DeleteMin(p)
+				p.OpSpan("deletemin", start)
 				lat := p.Now() - start
 				t.deleteCycles += lat
 				t.deletes++
@@ -219,6 +242,7 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 					t.delLat = append(t.delLat, float64(lat))
 				}
 			}
+			p.OpDone()
 		}
 	})
 	if err != nil {
@@ -254,8 +278,17 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 		r.InsertSummary = stats.Summarize(ins)
 		r.DeleteSummary = stats.Summarize(del)
 		r.AllSummary = stats.Summarize(all)
+		r.InsertHist = stats.NewHistogram(DefaultLatencyBounds()...)
+		r.DeleteHist = stats.NewHistogram(DefaultLatencyBounds()...)
+		for _, v := range ins {
+			r.InsertHist.Observe(v)
+		}
+		for _, v := range del {
+			r.DeleteHist.Observe(v)
+		}
 	}
 	r.Stats = simStats
+	r.Internals = MetricsOf(q)
 	return r, nil
 }
 

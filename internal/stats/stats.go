@@ -93,8 +93,65 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // Count returns the number of observations in bucket i (the bucket with
-// upper bound Bounds()[i]; the last index is the overflow bucket).
+// upper bound Buckets()[i]; the last index is the overflow bucket).
 func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Buckets returns the ascending bucket upper bounds; observations above
+// the final bound land in an overflow bucket (index len(Buckets())).
+func (h *Histogram) Buckets() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Counts returns the per-bucket observation counts, one per bound plus a
+// final overflow bucket.
+func (h *Histogram) Counts() []int {
+	return append([]int(nil), h.counts...)
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) from the bucket
+// counts, interpolating linearly within the bucket the rank falls in. An
+// empty histogram yields 0; ranks in the overflow bucket report the last
+// finite bound (the histogram cannot see beyond it).
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.Total()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(h.counts)-1 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Total returns the number of observations.
 func (h *Histogram) Total() int {

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pq/internal/sim"
+)
+
+// contendedRun drives a small program with local work, hot-word traffic
+// and parked waiting, exercising every engine-attributed phase.
+func contendedRun(t *testing.T, col *Collector) sim.Stats {
+	t.Helper()
+	cfg := sim.DefaultConfig(4)
+	if col != nil {
+		cfg.Spans = col
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := m.Alloc(1)
+	flag := m.Alloc(1)
+	st, err := m.Run(func(p *sim.Proc) {
+		if p.ID() == 0 {
+			p.LocalWork(200)
+			p.Write(flag, 1) // wake the parked waiters
+		} else {
+			p.WaitWhile(flag, 0)
+		}
+		for i := 0; i < 20; i++ {
+			p.LocalWork(10)
+			start := p.Now()
+			p.FetchAdd(hot, 1)
+			p.OpSpan("bump", start)
+			p.OpDone()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPhasesCovered(t *testing.T) {
+	col := NewCollector(4)
+	contendedRun(t, col)
+	totals := col.PhaseTotals()
+	for _, ph := range []sim.Phase{sim.PhaseLocalWork, sim.PhaseMemStall, sim.PhaseSpinWait} {
+		if totals[ph] <= 0 {
+			t.Errorf("phase %v: no cycles recorded (totals %v)", ph, totals)
+		}
+	}
+	ops := col.OpTotals()
+	if len(ops) != 1 || ops[0].Kind != "bump" || ops[0].Count != 4*20 {
+		t.Fatalf("unexpected op totals %+v", ops)
+	}
+}
+
+func TestTracingIsFree(t *testing.T) {
+	bare := contendedRun(t, nil)
+	col := NewCollector(4)
+	traced := contendedRun(t, col)
+	if traced.FinalTime != bare.FinalTime || traced.Events != bare.Events {
+		t.Fatalf("tracing perturbed the run: traced %+v vs bare %+v", traced, bare)
+	}
+}
+
+func TestDeterministicExport(t *testing.T) {
+	digest := func() string {
+		col := NewCollector(4)
+		contendedRun(t, col)
+		d, err := col.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := digest(), digest(); a != b {
+		t.Fatalf("trace digests diverged: %s vs %s", a, b)
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	col := NewCollector(4)
+	contendedRun(t, col)
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) < 10 {
+		t.Fatalf("suspiciously small trace: %d events", len(tr.TraceEvents))
+	}
+	seenOp, seenPhase := false, false
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			continue
+		case e.Ph != "X":
+			t.Fatalf("unexpected event type %q", e.Ph)
+		case e.Ts < 0 || e.Dur < 0:
+			t.Fatalf("negative ts/dur in %+v", e)
+		}
+		if e.Name == "bump" {
+			seenOp = true
+		}
+		if e.Name == sim.PhaseMemStall.String() {
+			seenPhase = true
+		}
+	}
+	if !seenOp || !seenPhase {
+		t.Fatalf("trace missing op (%v) or phase (%v) events", seenOp, seenPhase)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	col := NewCollectorCap(1, 8)
+	for i := 0; i < 20; i++ {
+		col.RecordSpan(sim.Span{Proc: 0, Start: int64(i), End: int64(i + 1), Phase: sim.PhaseLocalWork})
+	}
+	spans := col.Spans(0)
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	// Oldest-first, with the first 12 evicted.
+	if spans[0].Start != 12 || spans[7].Start != 19 {
+		t.Fatalf("ring kept wrong window: first %d last %d", spans[0].Start, spans[7].Start)
+	}
+	if col.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", col.Dropped())
+	}
+}
