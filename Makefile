@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt
+.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt pqd pqload loadtest-quick
 
 all: build test
 
@@ -46,6 +46,19 @@ figures:
 # degradation and crash-stop, with history checking (~seconds).
 chaos-quick:
 	$(GO) run ./cmd/pqbench -chaos -scale 0.25
+
+# The serving subsystem: the pqd daemon and its load generator.
+pqd:
+	$(GO) build -o bin/pqd ./cmd/pqd
+
+pqload:
+	$(GO) build -o bin/pqload ./cmd/pqload
+
+# Loopback service smoke: pqd serving a sharded FunnelTree under
+# pqload for 2s — clean drain, valid pq-bench/v1 JSON, observable
+# admission-control shedding, graceful SIGTERM exit (~seconds).
+loadtest-quick:
+	GO="$(GO)" sh ./scripts/loadtest_quick.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,163 @@
+// Command pqd is the priority-queue daemon: it serves named native
+// queues (any pq.Algorithm, optionally sharded by priority range, with
+// bounded-counter admission control) over the wire protocol on TCP.
+//
+// Usage:
+//
+//	pqd -addr :7070 -queues default:FunnelTree:64:4:100000
+//
+// Each -queues entry is name:algorithm:priorities[:shards[:capacity]];
+// capacity 0 means unbounded (no admission control). SIGTERM or SIGINT
+// drains gracefully: the listener closes, every queue sheds new
+// inserts with RETRY_AFTER while delete-mins keep working, and the
+// daemon exits when clients disconnect (or the drain timeout forces
+// the issue).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pq"
+	"pq/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pqd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":7070", "listen address")
+		queues       = fs.String("queues", "default:FunnelTree:64:4:0", "comma-separated queue specs name:alg:pris[:shards[:capacity]]")
+		maxBatch     = fs.Int("maxbatch", 64, "pipelined requests per response flush")
+		retryMillis  = fs.Int("retry-millis", 2, "RETRY_AFTER backoff hint (ms)")
+		conc         = fs.Int("concurrency", 0, "expected contending connections (sizes funnels; 0 = GOMAXPROCS)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+		quiet        = fs.Bool("q", false, "suppress serving diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := parseQueueSpecs(*queues)
+	if err != nil {
+		return err
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		MaxBatch:         *maxBatch,
+		RetryAfterMillis: *retryMillis,
+		Concurrency:      *conc,
+		Logf:             logf,
+	})
+	for _, spec := range specs {
+		if err := srv.AddQueue(spec); err != nil {
+			return err
+		}
+		logf("pqd: queue %q: %s pris=%d shards=%d capacity=%d",
+			spec.Name, spec.Algorithm, spec.Priorities, spec.Shards, spec.Capacity)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	// Report the bound address once the listener is up (pqload and the
+	// smoke script wait for this line).
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			fmt.Printf("pqd: listening on %s\n", a)
+			break
+		}
+		select {
+		case err := <-serveErr:
+			return err
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		logf("pqd: %v: draining (timeout %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		for _, spec := range specs {
+			if st, ok := srv.QueueStats(spec.Name); ok {
+				fmt.Printf("pqd: queue %q: inserts=%d deletes=%d shed=%d size=%d\n",
+					st.Queue, st.Inserts, st.Deletes, st.RetryAfter, st.Size)
+			}
+		}
+		<-serveErr
+		if err == context.DeadlineExceeded {
+			logf("pqd: drain timeout: severed remaining connections")
+			return nil
+		}
+		return err
+	}
+}
+
+// parseQueueSpecs parses the -queues flag.
+func parseQueueSpecs(s string) ([]server.QueueSpec, error) {
+	var specs []server.QueueSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("bad queue spec %q: want name:alg:pris[:shards[:capacity]]", entry)
+		}
+		spec := server.QueueSpec{Name: parts[0], Algorithm: pq.Algorithm(parts[1])}
+		if !knownAlgorithm(spec.Algorithm) {
+			return nil, fmt.Errorf("bad queue spec %q: unknown algorithm %q (have %v)", entry, parts[1], pq.Algorithms())
+		}
+		var err error
+		if spec.Priorities, err = strconv.Atoi(parts[2]); err != nil || spec.Priorities < 1 {
+			return nil, fmt.Errorf("bad queue spec %q: priorities %q", entry, parts[2])
+		}
+		if len(parts) >= 4 {
+			if spec.Shards, err = strconv.Atoi(parts[3]); err != nil || spec.Shards < 0 {
+				return nil, fmt.Errorf("bad queue spec %q: shards %q", entry, parts[3])
+			}
+		}
+		if len(parts) == 5 {
+			if spec.Capacity, err = strconv.ParseInt(parts[4], 10, 64); err != nil || spec.Capacity < 0 {
+				return nil, fmt.Errorf("bad queue spec %q: capacity %q", entry, parts[4])
+			}
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no queues configured")
+	}
+	return specs, nil
+}
+
+func knownAlgorithm(a pq.Algorithm) bool {
+	for _, k := range pq.Algorithms() {
+		if k == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseQueueSpecs(t *testing.T) {
+	specs, err := parseQueueSpecs("jobs:FunnelTree:64:4:1000, misc:SimpleLinear:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	j := specs[0]
+	if j.Name != "jobs" || string(j.Algorithm) != "FunnelTree" || j.Priorities != 64 ||
+		j.Shards != 4 || j.Capacity != 1000 {
+		t.Fatalf("jobs spec = %+v", j)
+	}
+	m := specs[1]
+	if m.Name != "misc" || m.Priorities != 8 || m.Shards != 0 || m.Capacity != 0 {
+		t.Fatalf("misc spec = %+v", m)
+	}
+}
+
+func TestParseQueueSpecsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"jobs",
+		"jobs:FunnelTree",
+		"jobs:NoSuchAlg:8",
+		"jobs:FunnelTree:zero",
+		"jobs:FunnelTree:0",
+		"jobs:FunnelTree:8:-1",
+		"jobs:FunnelTree:8:2:-5",
+		"jobs:FunnelTree:8:2:5:extra",
+	} {
+		if _, err := parseQueueSpecs(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-queues", "broken"}); err == nil {
+		t.Fatal("bad -queues accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:0"}); err == nil {
+		t.Fatal("bad -addr accepted")
+	}
+}

@@ -1,0 +1,334 @@
+// Command pqload is a load generator for pqd: closed-loop (every
+// worker keeps one request in flight) or open-loop (a target arrival
+// rate, revealing queueing delay) insert/delete-min mixes over the
+// client library, with wall-clock latency histograms and machine-
+// readable pq-bench/v1 JSON so service runs join the same perf
+// trajectory as the simulator and native suites.
+//
+// Usage:
+//
+//	pqload -addr 127.0.0.1:7070 -queue default -workers 16 -duration 5s
+//	pqload -rate 50000 -mix 0.6 -json load.json
+//
+// With -drain (the default) pqload drains the queue after the timed
+// run and fails unless the server's insert and delete counters agree —
+// the "every admitted item came back out" smoke check CI runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pq/internal/harness"
+	"pq/internal/stats"
+	"pq/pqclient"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pqload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr      string
+	queue     string
+	workers   int
+	conns     int
+	duration  time.Duration
+	mix       float64
+	rate      float64
+	valueSize int
+	jsonPath  string
+	drain     bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("pqload", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7070", "pqd address")
+	fs.StringVar(&o.queue, "queue", "default", "queue name")
+	fs.IntVar(&o.workers, "workers", 8, "concurrent workers")
+	fs.IntVar(&o.conns, "conns", 2, "pooled connections per client")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "timed run length")
+	fs.Float64Var(&o.mix, "mix", 0.5, "insert fraction of the op mix (0..1)")
+	fs.Float64Var(&o.rate, "rate", 0, "target ops/sec across all workers (0 = closed loop)")
+	fs.IntVar(&o.valueSize, "value-size", 8, "value bytes per item (min 8; carries the item id)")
+	fs.StringVar(&o.jsonPath, "json", "", "write pq-bench/v1 JSON here (\"-\" = stdout)")
+	fs.BoolVar(&o.drain, "drain", true, "drain the queue after the run and check conservation")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.workers < 1 {
+		return o, fmt.Errorf("-workers must be >= 1, got %d", o.workers)
+	}
+	if o.conns < 1 {
+		return o, fmt.Errorf("-conns must be >= 1, got %d", o.conns)
+	}
+	if o.duration <= 0 {
+		return o, fmt.Errorf("-duration must be positive, got %v", o.duration)
+	}
+	if o.mix < 0 || o.mix > 1 {
+		return o, fmt.Errorf("-mix must be in [0,1], got %g", o.mix)
+	}
+	if o.rate < 0 {
+		return o, fmt.Errorf("-rate must be >= 0, got %g", o.rate)
+	}
+	if o.valueSize < 8 {
+		return o, fmt.Errorf("-value-size must be >= 8, got %d", o.valueSize)
+	}
+	return o, nil
+}
+
+// workerResult is one worker's tallies from the timed phase.
+type workerResult struct {
+	insLats []float64 // ns per acked insert
+	delLats []float64 // ns per delete-min round trip
+	acked   int
+	deletes int
+	empties int
+	sheds   int
+}
+
+func run(args []string, out *os.File) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	client, err := pqclient.Dial(pqclient.Config{Addr: o.addr, Conns: o.conns})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// The server knows the queue's shape; don't make the user repeat it.
+	st0, err := client.Stats(context.Background(), o.queue)
+	if err != nil {
+		return fmt.Errorf("queue %q: %w", o.queue, err)
+	}
+	pris := st0.Priorities
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	defer cancel()
+
+	// Open loop: a pacer goroutine feeds tokens at the target rate;
+	// closed loop when rate is 0 (tokens == nil).
+	var tokens chan struct{}
+	if o.rate > 0 {
+		tokens = make(chan struct{}, 1024)
+		go func() {
+			interval := time.Duration(float64(time.Second) / o.rate)
+			tick := time.NewTicker(maxDur(interval, 10*time.Microsecond))
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // generator saturated; drop the token
+					}
+				}
+			}
+		}()
+	}
+
+	results := make([]workerResult, o.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &results[w]
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			value := make([]byte, o.valueSize)
+			for seq := 0; ; seq++ {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				if rng.Float64() < o.mix {
+					id := uint64(w)<<32 | uint64(seq)
+					putID(value, id)
+					t0 := time.Now()
+					err := client.Insert(ctx, o.queue, int(id*13)%pris, value)
+					switch {
+					case err == nil:
+						r.insLats = append(r.insLats, float64(time.Since(t0).Nanoseconds()))
+						r.acked++
+					case errors.Is(err, pqclient.ErrOverload):
+						r.sheds++
+					case ctx.Err() != nil:
+						return
+					default:
+						// A request cut off by the deadline mid-flight.
+						if isDeadline(err) {
+							return
+						}
+						fmt.Fprintf(os.Stderr, "pqload: insert: %v\n", err)
+						return
+					}
+				} else {
+					t0 := time.Now()
+					_, ok, err := client.DeleteMin(ctx, o.queue)
+					if err != nil {
+						if ctx.Err() != nil || isDeadline(err) {
+							return
+						}
+						fmt.Fprintf(os.Stderr, "pqload: delete-min: %v\n", err)
+						return
+					}
+					r.delLats = append(r.delLats, float64(time.Since(t0).Nanoseconds()))
+					if ok {
+						r.deletes++
+					} else {
+						r.empties++
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge workers.
+	var total workerResult
+	for i := range results {
+		r := &results[i]
+		total.insLats = append(total.insLats, r.insLats...)
+		total.delLats = append(total.delLats, r.delLats...)
+		total.acked += r.acked
+		total.deletes += r.deletes
+		total.empties += r.empties
+		total.sheds += r.sheds
+	}
+	ops := total.acked + total.deletes + total.empties
+	if ops == 0 {
+		return fmt.Errorf("no operations completed — is pqd up at %s?", o.addr)
+	}
+
+	// Drain phase: stop admission, pop until empty, then check
+	// conservation server-side (valid even if other clients ran: every
+	// admitted insert must come back out exactly once).
+	drained := 0
+	if o.drain {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		if _, err := client.Drain(dctx, o.queue); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		for {
+			items, err := client.DeleteMinBatch(dctx, o.queue, 256)
+			if err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			if len(items) == 0 {
+				break
+			}
+			drained += len(items)
+		}
+	}
+	stFinal, err := client.Stats(context.Background(), o.queue)
+	if err != nil {
+		return err
+	}
+
+	insSum := stats.Summarize(total.insLats)
+	delSum := stats.Summarize(total.delLats)
+	thr := float64(ops) / elapsed.Seconds()
+	fmt.Fprintf(out, "pqload: %s %s: %d workers, %v\n", o.addr, o.queue, o.workers, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  ops/sec      %12.0f  (closed-loop=%v mix=%.2f)\n", thr, o.rate == 0, o.mix)
+	fmt.Fprintf(out, "  inserts      %12d  shed %d\n", total.acked, total.sheds)
+	fmt.Fprintf(out, "  deletes      %12d  empty %d  drained %d\n", total.deletes, total.empties, drained)
+	fmt.Fprintf(out, "  insert ns    %s\n", insSum)
+	fmt.Fprintf(out, "  delete ns    %s\n", delSum)
+	fmt.Fprintf(out, "  server       inserts=%d deletes=%d shed=%d size=%d\n",
+		stFinal.Inserts, stFinal.Deletes, stFinal.RetryAfter, stFinal.Size)
+
+	if o.jsonPath != "" {
+		bf := &harness.BenchFile{
+			Schema:     harness.BenchSchema,
+			Suite:      harness.SuiteService,
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Procs:      o.workers,
+			Priorities: pris,
+			Scale:      1,
+			Runs: []harness.BenchRun{{
+				Algorithm:           "pqd/" + stFinal.Algorithm,
+				Procs:               o.workers,
+				Inserts:             total.acked,
+				Deletes:             total.deletes,
+				FailedDeletes:       total.empties,
+				ThroughputOpsPerSec: thr,
+				Insert:              harness.LatencyFromSummary(insSum),
+				Delete:              harness.LatencyFromSummary(delSum),
+				Internals: map[string]float64{
+					"client_sheds":       float64(total.sheds),
+					"drained":            float64(drained),
+					"server_retry_after": float64(stFinal.RetryAfter),
+					"server_shards":      float64(stFinal.Shards),
+					"server_capacity":    float64(stFinal.Capacity),
+				},
+			}},
+		}
+		if err := bf.Validate(); err != nil {
+			return fmt.Errorf("generated JSON does not validate: %w", err)
+		}
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.jsonPath == "-" {
+			out.Write(data)
+		} else if err := os.WriteFile(o.jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Clean-drain assertion: after draining, everything the server
+	// admitted must have been deleted exactly once (count-level; the
+	// per-item check lives in the server's e2e test).
+	if o.drain {
+		if stFinal.Size != 0 || stFinal.Inserts != stFinal.Deletes {
+			return fmt.Errorf("unclean drain: server inserts=%d deletes=%d size=%d",
+				stFinal.Inserts, stFinal.Deletes, stFinal.Size)
+		}
+	}
+	return nil
+}
+
+func putID(b []byte, id uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (56 - 8*i))
+	}
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		strings.Contains(err.Error(), "deadline")
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pq"
+	"pq/internal/harness"
+	"pq/internal/server"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-workers", "0"},
+		{"-conns", "0"},
+		{"-duration", "0s"},
+		{"-mix", "1.5"},
+		{"-mix", "-0.1"},
+		{"-rate", "-5"},
+		{"-value-size", "4"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("flags %v accepted", bad)
+		}
+	}
+	o, err := parseFlags([]string{"-rate", "1000", "-mix", "0.7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.rate != 1000 || o.mix != 0.7 || !o.drain {
+		t.Fatalf("options = %+v", o)
+	}
+}
+
+// TestLoadAgainstLoopbackServer runs the whole generator against an
+// in-process server: timed phase, drain phase, JSON emission — the
+// same path the CI smoke step exercises through the built binaries.
+func TestLoadAgainstLoopbackServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run")
+	}
+	srv := server.New(server.Config{})
+	if err := srv.AddQueue(server.QueueSpec{
+		Name: "default", Algorithm: pq.FunnelTree, Priorities: 32, Shards: 2, Capacity: 4096,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	defer func() { srv.Close(); <-done }()
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-addr", addr, "-workers", "4", "-conns", "2",
+		"-duration", "500ms", "-json", jsonPath,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := harness.ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Suite != harness.SuiteService {
+		t.Fatalf("suite = %q", bf.Suite)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["suite"] != "service" {
+		t.Fatalf("serialized suite = %v", raw["suite"])
+	}
+}

@@ -1,23 +1,27 @@
 // Command pqnative benchmarks the native (goroutine) priority queue
-// implementations across goroutine counts: throughput and mean latency of
+// implementations across goroutine counts: throughput and latency of
 // the paper's mixed insert/delete-min workload on the real Go runtime.
 //
 // Usage:
 //
 //	pqnative                          # all algorithms, default sweep
 //	pqnative -algs FunnelTree,SimpleLinear -goroutines 1,4,16 -pris 16
+//	pqnative -json native.json        # machine-readable pq-bench/v1 suite
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"pq"
+	"pq/internal/harness"
 	"pq/internal/stats"
 )
 
@@ -35,16 +39,27 @@ func run(args []string) error {
 		gsFlag   = fs.String("goroutines", "1,2,4,8,16,32", "comma-separated goroutine counts")
 		pris     = fs.Int("pris", 16, "number of priorities")
 		ops      = fs.Int("ops", 100_000, "operations per goroutine")
+		jsonPath = fs.String("json", "", "write a pq-bench/v1 native-suite JSON here (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pris < 1 {
+		return fmt.Errorf("-pris must be >= 1, got %d", *pris)
+	}
+	if *ops < 1 {
+		return fmt.Errorf("-ops must be >= 1, got %d", *ops)
 	}
 
 	algs := pq.Algorithms()
 	if *algsFlag != "" {
 		algs = algs[:0]
 		for _, s := range strings.Split(*algsFlag, ",") {
-			algs = append(algs, pq.Algorithm(strings.TrimSpace(s)))
+			a := pq.Algorithm(strings.TrimSpace(s))
+			if !knownAlgorithm(a) {
+				return fmt.Errorf("unknown algorithm %q (have %v)", a, pq.Algorithms())
+			}
+			algs = append(algs, a)
 		}
 	}
 	var gs []int
@@ -56,6 +71,14 @@ func run(args []string) error {
 		gs = append(gs, n)
 	}
 
+	bf := &harness.BenchFile{
+		Schema:     harness.BenchSchema,
+		Suite:      harness.SuiteNative,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Procs:      runtime.GOMAXPROCS(0),
+		Priorities: *pris,
+		Scale:      float64(*ops) / 100_000,
+	}
 	fmt.Printf("%-14s %12s %14s %10s %10s %10s\n",
 		"algorithm", "goroutines", "ops/sec", "p50 ns", "p95 ns", "p99 ns")
 	for _, alg := range algs {
@@ -64,16 +87,61 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			all := stats.Summarize(m.allLats)
 			fmt.Printf("%-14s %12d %14.0f %10.0f %10.0f %10.0f\n",
-				alg, g, m.opsPerSec, m.lat.P50, m.lat.P95, m.lat.P99)
+				alg, g, m.opsPerSec, all.P50, all.P95, all.P99)
+			bf.Runs = append(bf.Runs, harness.BenchRun{
+				Algorithm:           string(alg),
+				Procs:               g,
+				Inserts:             m.inserts,
+				Deletes:             m.deletes,
+				FailedDeletes:       m.failedDeletes,
+				ThroughputOpsPerSec: m.opsPerSec,
+				Insert:              harness.LatencyFromSummary(stats.Summarize(m.insLats)),
+				Delete:              harness.LatencyFromSummary(stats.Summarize(m.delLats)),
+			})
 		}
+	}
+	if *jsonPath != "" {
+		if err := bf.Validate(); err != nil {
+			return fmt.Errorf("generated JSON does not validate: %w", err)
+		}
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+			return nil
+		}
+		return os.WriteFile(*jsonPath, data, 0o644)
 	}
 	return nil
 }
 
+func knownAlgorithm(a pq.Algorithm) bool {
+	for _, k := range pq.Algorithms() {
+		if k == a {
+			return true
+		}
+	}
+	return false
+}
+
 type measurement struct {
-	opsPerSec float64
-	lat       stats.Summary
+	opsPerSec     float64
+	inserts       int
+	deletes       int
+	failedDeletes int
+	insLats       []float64
+	delLats       []float64
+	allLats       []float64
+}
+
+type goroutineTally struct {
+	insLats, delLats []float64
+	deletes, failed  int
 }
 
 func measure(alg pq.Algorithm, goroutines, pris, ops int) (measurement, error) {
@@ -81,7 +149,7 @@ func measure(alg pq.Algorithm, goroutines, pris, ops int) (measurement, error) {
 	if err != nil {
 		return measurement{}, err
 	}
-	perG := make([][]float64, goroutines)
+	perG := make([]goroutineTally, goroutines)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for g := 0; g < goroutines; g++ {
@@ -89,28 +157,36 @@ func measure(alg pq.Algorithm, goroutines, pris, ops int) (measurement, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lats := make([]float64, 0, ops)
+			t := &perG[g]
 			for i := 0; i < ops; i++ {
 				t0 := time.Now()
 				if (i+g)%2 == 0 {
 					q.Insert((i*13+g)%pris, i)
+					t.insLats = append(t.insLats, float64(time.Since(t0).Nanoseconds()))
 				} else {
-					q.DeleteMin()
+					_, ok := q.DeleteMin()
+					t.delLats = append(t.delLats, float64(time.Since(t0).Nanoseconds()))
+					if ok {
+						t.deletes++
+					} else {
+						t.failed++
+					}
 				}
-				lats = append(lats, float64(time.Since(t0).Nanoseconds()))
 			}
-			perG[g] = lats
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	var all []float64
-	for _, l := range perG {
-		all = append(all, l...)
+	var m measurement
+	for i := range perG {
+		t := &perG[i]
+		m.insLats = append(m.insLats, t.insLats...)
+		m.delLats = append(m.delLats, t.delLats...)
+		m.deletes += t.deletes
+		m.failedDeletes += t.failed
 	}
-	total := float64(goroutines * ops)
-	return measurement{
-		opsPerSec: total / elapsed.Seconds(),
-		lat:       stats.Summarize(all),
-	}, nil
+	m.inserts = len(m.insLats)
+	m.allLats = append(append([]float64(nil), m.insLats...), m.delLats...)
+	m.opsPerSec = float64(goroutines*ops) / elapsed.Seconds()
+	return m, nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pq/internal/harness"
+)
 
 func TestRunDefaults(t *testing.T) {
 	if testing.Short() {
@@ -20,5 +26,51 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-algs", "NoSuchAlgorithm", "-goroutines", "1", "-ops", "10"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-pris", "0"}); err == nil {
+		t.Fatal("pris=0 accepted")
+	}
+	if err := run([]string{"-pris", "-3"}); err == nil {
+		t.Fatal("negative pris accepted")
+	}
+	if err := run([]string{"-ops", "0"}); err == nil {
+		t.Fatal("ops=0 accepted")
+	}
+}
+
+// TestRunJSON checks the -json output is a valid pq-bench/v1 native
+// suite with one run per algorithm × goroutine count.
+func TestRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks the host")
+	}
+	path := filepath.Join(t.TempDir(), "native.json")
+	if err := run([]string{
+		"-goroutines", "1,2", "-ops", "1000",
+		"-algs", "SimpleLinear,SimpleTree", "-json", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := harness.ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Suite != harness.SuiteNative {
+		t.Fatalf("suite = %q, want %q", bf.Suite, harness.SuiteNative)
+	}
+	if len(bf.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4 (2 algs × 2 goroutine counts)", len(bf.Runs))
+	}
+	for _, r := range bf.Runs {
+		if r.Procs != 1 && r.Procs != 2 {
+			t.Errorf("%s: procs = %d", r.Algorithm, r.Procs)
+		}
+		if r.ThroughputOpsPerSec <= 0 {
+			t.Errorf("%s: no throughput", r.Algorithm)
+		}
 	}
 }

@@ -1,0 +1,165 @@
+package funnel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCounterBoundedStress hammers a bounded counter with asymmetric
+// decrementer/incrementer populations (the admission-semaphore shape
+// pqd uses) and checks, under -race, that:
+//
+//   - the central value never crosses the lower bound,
+//   - every operation's return is consistent with bounded semantics
+//     (a decrement returning the bound means "not decremented"), and
+//   - at quiescence the value equals initial + effective increments -
+//     effective decrements, i.e. eliminated pairs balanced exactly.
+func TestCounterBoundedStress(t *testing.T) {
+	const (
+		lower   = int64(0)
+		initial = int64(4)
+		perG    = 3000
+	)
+	decrementers := 6
+	incrementers := 3
+	if testing.Short() {
+		decrementers, incrementers = 3, 2
+	}
+	c := NewCounter(DefaultParams(decrementers+incrementers), initial, true, lower)
+
+	var (
+		wg        sync.WaitGroup
+		decs      atomic.Int64 // decrements that took effect
+		failsDecs atomic.Int64 // decrements refused at the bound
+		incs      atomic.Int64
+	)
+	for g := 0; g < decrementers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				prev := c.FaD()
+				if prev < lower {
+					t.Errorf("FaD observed value %d below bound %d", prev, lower)
+					return
+				}
+				if prev == lower {
+					failsDecs.Add(1)
+				} else {
+					decs.Add(1)
+				}
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for g := 0; g < incrementers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if prev := c.FaI(); prev < lower {
+					t.Errorf("FaI observed value %d below bound %d", prev, lower)
+					return
+				}
+				incs.Add(1)
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if v := c.Value(); v < lower {
+		t.Fatalf("final value %d below bound %d", v, lower)
+	}
+	// Conservation at quiescence: eliminated increment/decrement pairs
+	// must have balanced — each pair reports one effective increment
+	// and one effective decrement, netting zero — so the central value
+	// is exactly initial + incs - decs.
+	want := initial + incs.Load() - decs.Load()
+	if got := c.Value(); got != want {
+		t.Fatalf("final value %d, want initial(%d) + incs(%d) - decs(%d) = %d; refused decs = %d",
+			got, initial, incs.Load(), decs.Load(), want, failsDecs.Load())
+	}
+	if incs.Load() != int64(incrementers*perG) {
+		t.Fatalf("lost increments: %d of %d", incs.Load(), incrementers*perG)
+	}
+	if decs.Load()+failsDecs.Load() != int64(decrementers*perG) {
+		t.Fatalf("lost decrements: %d+%d of %d", decs.Load(), failsDecs.Load(), decrementers*perG)
+	}
+}
+
+// TestCounterUpperBoundStress is the mirrored admission-control case:
+// BFaI against an upper bound with concurrent FaD, as pqd's admission
+// semaphore runs it. The value must never exceed the upper bound and
+// conservation must hold at quiescence.
+func TestCounterUpperBoundStress(t *testing.T) {
+	const (
+		upper = int64(16)
+		perG  = 3000
+	)
+	incrementers := 6
+	decrementers := 3
+	if testing.Short() {
+		incrementers, decrementers = 3, 2
+	}
+	c := NewCounterBounds(DefaultParams(incrementers+decrementers), 0, 0, upper)
+
+	var (
+		wg   sync.WaitGroup
+		incs atomic.Int64
+		decs atomic.Int64
+	)
+	for g := 0; g < incrementers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				prev := c.BFaI()
+				if prev > upper {
+					t.Errorf("BFaI observed value %d above bound %d", prev, upper)
+					return
+				}
+				if prev < upper {
+					incs.Add(1)
+				}
+			}
+		}()
+	}
+	for g := 0; g < decrementers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				prev := c.FaD()
+				if prev < 0 {
+					t.Errorf("FaD observed value %d below bound 0", prev)
+					return
+				}
+				if prev > 0 {
+					decs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	got := c.Value()
+	if got < 0 || got > upper {
+		t.Fatalf("final value %d outside [0,%d]", got, upper)
+	}
+	if want := incs.Load() - decs.Load(); got != want {
+		t.Fatalf("final value %d, want incs(%d) - decs(%d) = %d", got, incs.Load(), decs.Load(), want)
+	}
+}

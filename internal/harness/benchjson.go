@@ -9,14 +9,30 @@ import (
 )
 
 // BenchSchema identifies the machine-readable benchmark format emitted
-// by `pqbench -json`. Bump the version on any incompatible change so
-// downstream tooling can fail loudly instead of misreading fields.
+// by `pqbench -json`, `pqnative -json` and `pqload -json`. Bump the
+// version on any incompatible change so downstream tooling can fail
+// loudly instead of misreading fields.
 const BenchSchema = "pq-bench/v1"
+
+// Suite kinds: where a document's measurements come from. They share
+// the schema so service and native runs join the same perf trajectory
+// as the simulator's, but the validator holds each kind to the
+// invariants it can actually promise.
+const (
+	// SuiteSim is the deterministic simulator suite (`pqbench -json`,
+	// the default when the field is absent).
+	SuiteSim = "sim"
+	// SuiteNative is the wall-clock host suite (`pqnative -json`).
+	SuiteNative = "native"
+	// SuiteService is the pqd loopback/service suite (`pqload -json`).
+	SuiteService = "service"
+)
 
 // BenchFile is the top-level document: one standard-workload run per
 // algorithm under a single machine configuration.
 type BenchFile struct {
 	Schema     string     `json:"schema"`
+	Suite      string     `json:"suite,omitempty"`     // SuiteSim when empty
 	Generated  string     `json:"generated,omitempty"` // RFC 3339, caller-stamped
 	Procs      int        `json:"procs"`
 	Priorities int        `json:"priorities"`
@@ -26,17 +42,24 @@ type BenchFile struct {
 
 // BenchRun is one algorithm's measurement.
 type BenchRun struct {
-	Algorithm     string `json:"algorithm"`
-	Inserts       int    `json:"inserts"`
-	Deletes       int    `json:"deletes"`
-	FailedDeletes int    `json:"failed_deletes"`
+	Algorithm string `json:"algorithm"`
+	// Procs overrides the file-level Procs for this run (native suites
+	// sweep goroutine counts within one document); 0 means the
+	// file-level value applies.
+	Procs         int `json:"procs,omitempty"`
+	Inserts       int `json:"inserts"`
+	Deletes       int `json:"deletes"`
+	FailedDeletes int `json:"failed_deletes"`
 	// ThroughputOpsPerKCycle is completed operations per thousand
-	// simulated cycles across the whole machine.
-	ThroughputOpsPerKCycle float64            `json:"throughput_ops_per_kcycle"`
-	Insert                 BenchLatency       `json:"insert"`
-	Delete                 BenchLatency       `json:"delete"`
-	Internals              map[string]float64 `json:"internals,omitempty"`
-	Sim                    BenchSim           `json:"sim"`
+	// simulated cycles across the whole machine (sim suite).
+	ThroughputOpsPerKCycle float64 `json:"throughput_ops_per_kcycle,omitempty"`
+	// ThroughputOpsPerSec is completed operations per wall-clock
+	// second (native and service suites).
+	ThroughputOpsPerSec float64            `json:"throughput_ops_per_sec,omitempty"`
+	Insert              BenchLatency       `json:"insert"`
+	Delete              BenchLatency       `json:"delete"`
+	Internals           map[string]float64 `json:"internals,omitempty"`
+	Sim                 BenchSim           `json:"sim"`
 }
 
 // BenchLatency summarizes one operation kind's latency distribution, in
@@ -60,7 +83,10 @@ type BenchSim struct {
 	WordsUsed   int   `json:"words_used"`
 }
 
-func benchLatency(s stats.Summary) BenchLatency {
+// LatencyFromSummary converts a stats.Summary into the schema's
+// latency record; pqnative and pqload use it so every suite kind
+// reports identical quantile fields.
+func LatencyFromSummary(s stats.Summary) BenchLatency {
 	return BenchLatency{
 		Count: s.Count, Mean: s.Mean,
 		P50: s.P50, P90: s.P90, P95: s.P95, P99: s.P99, Max: s.Max,
@@ -97,8 +123,8 @@ func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*Benc
 			Inserts:       r.Inserts,
 			Deletes:       r.Deletes,
 			FailedDeletes: r.FailedDeletes,
-			Insert:        benchLatency(r.InsertSummary),
-			Delete:        benchLatency(r.DeleteSummary),
+			Insert:        LatencyFromSummary(r.InsertSummary),
+			Delete:        LatencyFromSummary(r.DeleteSummary),
 			Internals:     r.Internals,
 			Sim: BenchSim{
 				FinalTime:   r.Stats.FinalTime,
@@ -117,11 +143,23 @@ func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*Benc
 	return bf, results, nil
 }
 
-// Validate checks the document for structural problems: wrong schema,
-// missing algorithms, or runs with impossible totals.
+// Validate checks the document for structural problems: wrong schema
+// or suite, missing algorithms, or runs with impossible totals. Each
+// suite kind is held to the invariants it can promise: sim runs carry
+// simulator totals and cover every algorithm; native and service runs
+// carry wall-clock throughput instead.
 func (bf *BenchFile) Validate() error {
 	if bf.Schema != BenchSchema {
 		return fmt.Errorf("schema = %q, want %q", bf.Schema, BenchSchema)
+	}
+	suite := bf.Suite
+	if suite == "" {
+		suite = SuiteSim
+	}
+	switch suite {
+	case SuiteSim, SuiteNative, SuiteService:
+	default:
+		return fmt.Errorf("unknown suite %q", bf.Suite)
 	}
 	if bf.Procs < 1 || bf.Priorities < 1 {
 		return fmt.Errorf("bad machine shape: procs=%d priorities=%d", bf.Procs, bf.Priorities)
@@ -129,12 +167,23 @@ func (bf *BenchFile) Validate() error {
 	seen := map[string]bool{}
 	for i := range bf.Runs {
 		r := &bf.Runs[i]
-		if seen[r.Algorithm] {
-			return fmt.Errorf("duplicate run for %q", r.Algorithm)
+		key := fmt.Sprintf("%s/%d", r.Algorithm, r.Procs)
+		if seen[key] {
+			return fmt.Errorf("duplicate run for %q at procs=%d", r.Algorithm, r.Procs)
 		}
-		seen[r.Algorithm] = true
-		if r.Inserts+r.Deletes <= 0 {
+		seen[key] = true
+		if r.Inserts+r.Deletes+r.FailedDeletes <= 0 {
 			return fmt.Errorf("%s: no operations recorded", r.Algorithm)
+		}
+		if suite != SuiteSim {
+			if r.Insert.Count != r.Inserts || r.Delete.Count != r.Deletes+r.FailedDeletes {
+				return fmt.Errorf("%s: latency counts (%d,%d) disagree with op counts (%d,%d+%d)",
+					r.Algorithm, r.Insert.Count, r.Delete.Count, r.Inserts, r.Deletes, r.FailedDeletes)
+			}
+			if r.ThroughputOpsPerSec <= 0 {
+				return fmt.Errorf("%s: wall-clock throughput not populated", r.Algorithm)
+			}
+			continue
 		}
 		if r.Insert.Count != r.Inserts || r.Delete.Count != r.Deletes {
 			return fmt.Errorf("%s: latency counts (%d,%d) disagree with op counts (%d,%d)",
@@ -150,9 +199,11 @@ func (bf *BenchFile) Validate() error {
 			return fmt.Errorf("%s: no internals metrics", r.Algorithm)
 		}
 	}
-	for _, alg := range simpq.Algorithms {
-		if !seen[string(alg)] {
-			return fmt.Errorf("missing run for %q", alg)
+	if suite == SuiteSim {
+		for _, alg := range simpq.Algorithms {
+			if !seen[string(alg)+"/0"] {
+				return fmt.Errorf("missing run for %q", alg)
+			}
 		}
 	}
 	return nil

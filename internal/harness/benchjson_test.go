@@ -73,6 +73,67 @@ func TestValidateCatchesProblems(t *testing.T) {
 	}
 }
 
+// TestValidateSuiteKinds exercises the native/service validation
+// rules: per-run procs allow repeated algorithms, wall-clock
+// throughput is required, and sim-only checks are skipped.
+func TestValidateSuiteKinds(t *testing.T) {
+	run := func(procs int) BenchRun {
+		return BenchRun{
+			Algorithm:           "FunnelTree",
+			Procs:               procs,
+			Inserts:             10,
+			Deletes:             8,
+			FailedDeletes:       2,
+			ThroughputOpsPerSec: 123,
+			Insert:              BenchLatency{Count: 10},
+			Delete:              BenchLatency{Count: 10},
+		}
+	}
+	bf := &BenchFile{
+		Schema: BenchSchema, Suite: SuiteNative,
+		Procs: 8, Priorities: 16, Scale: 1,
+		Runs: []BenchRun{run(1), run(2)},
+	}
+	if err := bf.Validate(); err != nil {
+		t.Fatalf("native suite rejected: %v", err)
+	}
+
+	dup := *bf
+	dup.Runs = []BenchRun{run(1), run(1)}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate algorithm+procs accepted")
+	}
+
+	noThr := *bf
+	r := run(4)
+	r.ThroughputOpsPerSec = 0
+	noThr.Runs = []BenchRun{r}
+	if err := noThr.Validate(); err == nil {
+		t.Error("native run without wall-clock throughput accepted")
+	}
+
+	mismatch := *bf
+	r = run(4)
+	r.Insert.Count = 99
+	mismatch.Runs = []BenchRun{r}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("latency/op count mismatch accepted")
+	}
+
+	svc := *bf
+	svc.Suite = SuiteService
+	svc.Runs = []BenchRun{run(8)}
+	if err := svc.Validate(); err != nil {
+		t.Fatalf("service suite rejected: %v", err)
+	}
+
+	bogus := *bf
+	bogus.Suite = "quantum"
+	if err := bogus.Validate(); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
 // TestBenchJSONFile validates an externally produced file named by the
 // BENCH_JSON environment variable — the CI smoke step runs pqbench and
 // then this test against its output.

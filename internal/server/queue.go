@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"pq"
+	"pq/internal/wire"
+)
+
+// QueueSpec describes one served queue.
+type QueueSpec struct {
+	// Name addresses the queue in every request frame.
+	Name string
+	// Algorithm selects the backing implementation (any pq.Algorithm).
+	Algorithm pq.Algorithm
+	// Priorities is the queue's fixed priority range.
+	Priorities int
+	// Shards splits the priority range across that many independent
+	// sub-queues: shard i serves priorities [i·P/S, (i+1)·P/S).
+	// Delete-min scans shards in priority order, so cross-shard
+	// ordering is preserved between quiescent points while contention
+	// on any single structure drops by ~S. 0 or 1 means unsharded;
+	// values above Priorities are clamped.
+	Shards int
+	// Capacity bounds the number of queued items. Inserts beyond it
+	// are shed with RETRY_AFTER instead of queueing unboundedly; the
+	// bound is enforced by the paper's bounded fetch-and-decrement
+	// counter used as an admission semaphore, so it is approximate
+	// while operations are in flight. 0 means unbounded.
+	Capacity int64
+}
+
+func (spec *QueueSpec) validate() error {
+	if spec.Name == "" {
+		return fmt.Errorf("server: queue name must be non-empty")
+	}
+	if spec.Priorities < 1 {
+		return fmt.Errorf("server: queue %q: Priorities must be >= 1, got %d", spec.Name, spec.Priorities)
+	}
+	if spec.Capacity < 0 {
+		return fmt.Errorf("server: queue %q: Capacity must be >= 0, got %d", spec.Name, spec.Capacity)
+	}
+	if spec.Shards < 0 {
+		return fmt.Errorf("server: queue %q: Shards must be >= 0, got %d", spec.Name, spec.Shards)
+	}
+	if spec.Shards == 0 {
+		spec.Shards = 1
+	}
+	if spec.Shards > spec.Priorities {
+		spec.Shards = spec.Priorities
+	}
+	return nil
+}
+
+// servedQueue is one registry entry: the sharded backing queues, the
+// admission counter, and serving counters.
+type servedQueue struct {
+	spec   QueueSpec
+	shards []pq.Queue[[]byte]
+	bases  []int // len Shards+1; shard i serves priorities [bases[i], bases[i+1])
+
+	// admit is the bounded fetch-and-decrement counter of the paper's
+	// Section 3.3 used as an admission semaphore: BFaI on insert (a
+	// return equal to Capacity means "full", shed), FaD on successful
+	// delete-min. nil when Capacity is 0.
+	admit    *pq.Counter
+	draining atomic.Bool
+
+	inserts      atomic.Int64
+	deletes      atomic.Int64
+	emptyDeletes atomic.Int64
+	retryAfter   atomic.Int64
+}
+
+func newServedQueue(spec QueueSpec, concurrency int) (*servedQueue, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	q := &servedQueue{spec: spec}
+	q.bases = make([]int, spec.Shards+1)
+	for i := 0; i <= spec.Shards; i++ {
+		q.bases[i] = i * spec.Priorities / spec.Shards
+	}
+	for i := 0; i < spec.Shards; i++ {
+		sub, err := pq.New[[]byte](spec.Algorithm, q.bases[i+1]-q.bases[i],
+			pq.WithConcurrency(concurrency))
+		if err != nil {
+			return nil, fmt.Errorf("server: queue %q: %w", spec.Name, err)
+		}
+		q.shards = append(q.shards, sub)
+	}
+	if spec.Capacity > 0 {
+		q.admit = pq.NewCounterBounds(0, 0, spec.Capacity,
+			pq.WithConcurrency(concurrency))
+	}
+	return q, nil
+}
+
+// shardFor maps a global priority to its shard index.
+func (q *servedQueue) shardFor(pri int) int {
+	if len(q.shards) == 1 {
+		return 0
+	}
+	// bases is ascending; find the last base <= pri.
+	return sort.Search(len(q.bases), func(i int) bool { return q.bases[i] > pri }) - 1
+}
+
+// insertStatus reports how one insert resolved.
+type insertStatus int
+
+const (
+	insOK   insertStatus = iota // admitted
+	insShed                     // shed by admission control or drain
+	insBad                      // priority out of range (protocol error)
+)
+
+// insert admits and stores one item. Values are stored with a 4-byte
+// global-priority tag so deleteMin can report the priority it served
+// (the native queues only return the value).
+func (q *servedQueue) insert(it wire.Item) insertStatus {
+	pri := int(it.Pri)
+	if pri < 0 || pri >= q.spec.Priorities {
+		return insBad
+	}
+	if q.draining.Load() {
+		q.retryAfter.Add(1)
+		return insShed
+	}
+	if q.admit != nil {
+		if prev := q.admit.BFaI(); prev >= q.spec.Capacity {
+			q.retryAfter.Add(1)
+			return insShed
+		}
+	}
+	tagged := make([]byte, 4+len(it.Value))
+	binary.BigEndian.PutUint32(tagged, it.Pri)
+	copy(tagged[4:], it.Value)
+	s := q.shardFor(pri)
+	q.shards[s].Insert(pri-q.bases[s], tagged)
+	q.inserts.Add(1)
+	return insOK
+}
+
+// deleteMin scans shards in priority order and removes the most urgent
+// item found.
+func (q *servedQueue) deleteMin() (wire.Item, bool) {
+	for _, sub := range q.shards {
+		if v, ok := sub.DeleteMin(); ok {
+			if q.admit != nil {
+				q.admit.FaD()
+			}
+			q.deletes.Add(1)
+			return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true
+		}
+	}
+	q.emptyDeletes.Add(1)
+	return wire.Item{}, false
+}
+
+// stats snapshots the serving counters.
+func (q *servedQueue) stats() wire.QueueStats {
+	ins, del := q.inserts.Load(), q.deletes.Load()
+	return wire.QueueStats{
+		Queue:        q.spec.Name,
+		Algorithm:    string(q.spec.Algorithm),
+		Priorities:   q.spec.Priorities,
+		Shards:       q.spec.Shards,
+		Capacity:     q.spec.Capacity,
+		Inserts:      ins,
+		Deletes:      del,
+		EmptyDeletes: q.emptyDeletes.Load(),
+		RetryAfter:   q.retryAfter.Load(),
+		Size:         ins - del,
+		Draining:     q.draining.Load(),
+	}
+}
+
+// size is the approximate queued-item count.
+func (q *servedQueue) size() int64 { return q.inserts.Load() - q.deletes.Load() }

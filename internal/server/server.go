@@ -1,0 +1,441 @@
+// Package server hosts the native priority queues behind a TCP
+// endpoint speaking the wire protocol (see internal/wire): a registry
+// of named queues, each backed by any pq.Algorithm with optional
+// priority-range sharding, admission control via the paper's bounded
+// fetch-and-decrement counter (shedding with RETRY_AFTER instead of
+// queueing unboundedly), per-connection read/process goroutine pairs
+// with micro-batched response flushing, and graceful drain.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pq/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxBatch caps how many pipelined requests are processed between
+	// response flushes on one connection (micro-batching amortizes
+	// syscalls when clients pipeline). Default 64.
+	MaxBatch int
+	// RetryAfterMillis is the backoff hint sent with shed requests.
+	// Default 2.
+	RetryAfterMillis int
+	// Concurrency sizes the funnel layers of the backing queues and
+	// admission counters; default GOMAXPROCS.
+	Concurrency int
+	// Logf receives serving diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) normalize() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.RetryAfterMillis <= 0 {
+		c.RetryAfterMillis = 2
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is a pqd serving instance.
+type Server struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	queues map[string]*servedQueue
+
+	lnMu     sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	connsWG  sync.WaitGroup
+	shutdown atomic.Bool
+}
+
+// New builds a server with no queues; add them with AddQueue before
+// serving.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	return &Server{
+		cfg:    cfg,
+		queues: make(map[string]*servedQueue),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// AddQueue registers a queue. It may be called while serving; the name
+// must be unused.
+func (s *Server) AddQueue(spec QueueSpec) error {
+	q, err := newServedQueue(spec, s.cfg.Concurrency)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.queues[q.spec.Name]; dup {
+		return fmt.Errorf("server: queue %q already registered", q.spec.Name)
+	}
+	s.queues[q.spec.Name] = q
+	return nil
+}
+
+func (s *Server) lookup(name string) *servedQueue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queues[name]
+}
+
+// QueueStats snapshots one queue's counters (for tests and the
+// daemon's exit report).
+func (s *Server) QueueStats(name string) (wire.QueueStats, bool) {
+	q := s.lookup(name)
+	if q == nil {
+		return wire.QueueStats{}, false
+	}
+	return q.stats(), true
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown or Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.shutdown.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.lnMu.Lock()
+		if s.shutdown.Load() {
+			s.lnMu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.connsWG.Add(1)
+		s.lnMu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Addr reports the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains gracefully: stop accepting, mark every queue
+// draining (inserts shed with RETRY_AFTER, delete-mins keep working so
+// clients can empty the queues), then wait until every connection has
+// closed or ctx expires, at which point remaining connections are
+// severed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdown.Store(true)
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	s.mu.RLock()
+	for _, q := range s.queues {
+		q.draining.Store(true)
+	}
+	s.mu.RUnlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close severs everything immediately.
+func (s *Server) Close() error {
+	s.shutdown.Store(true)
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	s.closeConns()
+	s.connsWG.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	c.Close()
+	s.lnMu.Lock()
+	delete(s.conns, c)
+	s.lnMu.Unlock()
+	s.connsWG.Done()
+}
+
+// serveConn runs one connection: a reader goroutine decodes frames
+// into a channel and this goroutine processes them, flushing the
+// buffered writer only when the pipeline runs dry or MaxBatch requests
+// have been handled — the server-side micro-batch.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.dropConn(c)
+
+	reqs := make(chan wire.Frame, s.cfg.MaxBatch)
+	go func() {
+		defer close(reqs)
+		br := bufio.NewReaderSize(c, 64<<10)
+		for {
+			f, err := wire.ReadFrame(br)
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
+					s.cfg.Logf("server: %s: read: %v", c.RemoteAddr(), err)
+				}
+				return
+			}
+			reqs <- f
+		}
+	}()
+
+	bw := bufio.NewWriterSize(c, 64<<10)
+	for f := range reqs {
+		n := 1
+		if err := s.handle(f, bw); err != nil {
+			s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
+			return
+		}
+	batch:
+		for n < s.cfg.MaxBatch {
+			select {
+			case f2, ok := <-reqs:
+				if !ok {
+					break batch
+				}
+				n++
+				if err := s.handle(f2, bw); err != nil {
+					s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
+					return
+				}
+			default:
+				break batch
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// reply appends one response frame to the connection's write buffer.
+func reply(bw *bufio.Writer, id uint32, t wire.Type, payload []byte) error {
+	return wire.WriteFrame(bw, wire.Frame{Type: t, ID: id, Payload: payload})
+}
+
+func (s *Server) replyErr(bw *bufio.Writer, id uint32, format string, args ...any) error {
+	return reply(bw, id, wire.TError, wire.ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Append(nil))
+}
+
+func (s *Server) retryPayload() []byte {
+	return wire.RetryAfter{Millis: uint32(s.cfg.RetryAfterMillis)}.Append(nil)
+}
+
+// handle processes one request frame and writes its single response.
+func (s *Server) handle(f wire.Frame, bw *bufio.Writer) error {
+	switch f.Type {
+	case wire.TInsert:
+		m, err := wire.DecodeInsert(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad INSERT: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		switch q.insert(m.Item) {
+		case insOK:
+			return reply(bw, f.ID, wire.TInsertOK, wire.InsertOK{Accepted: 1}.Append(nil))
+		case insShed:
+			return reply(bw, f.ID, wire.TRetryAfter, s.retryPayload())
+		default:
+			return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", m.Item.Pri, q.spec.Priorities)
+		}
+
+	case wire.TInsertBatch:
+		m, err := wire.DecodeInsertBatch(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad INSERT_BATCH: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		// Validate the whole batch before admitting any of it, so a
+		// batch is either a protocol error or an admitted prefix.
+		for _, it := range m.Items {
+			if int(it.Pri) >= q.spec.Priorities {
+				return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", it.Pri, q.spec.Priorities)
+			}
+		}
+		accepted := 0
+		for _, it := range m.Items {
+			if q.insert(it) != insOK {
+				break
+			}
+			accepted++
+		}
+		ok := wire.InsertOK{Accepted: uint32(accepted), Rejected: uint32(len(m.Items) - accepted)}
+		if ok.Rejected > 0 {
+			ok.RetryAfterMillis = uint32(s.cfg.RetryAfterMillis)
+		}
+		return reply(bw, f.ID, wire.TInsertOK, ok.Append(nil))
+
+	case wire.TDeleteMin:
+		m, err := wire.DecodeQueueReq(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad DELETE_MIN: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		it, ok := q.deleteMin()
+		if !ok {
+			return reply(bw, f.ID, wire.TEmpty, nil)
+		}
+		return reply(bw, f.ID, wire.TItem, wire.AppendItem(nil, it))
+
+	case wire.TDeleteMinBatch:
+		m, err := wire.DecodeDeleteMinBatch(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad DELETE_MIN_BATCH: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		max := int(m.Max)
+		if max <= 0 || max > wire.MaxBatchItems {
+			return s.replyErr(bw, f.ID, "bad DELETE_MIN_BATCH max %d", m.Max)
+		}
+		var items []wire.Item
+		for len(items) < max {
+			it, ok := q.deleteMin()
+			if !ok {
+				break
+			}
+			items = append(items, it)
+		}
+		return reply(bw, f.ID, wire.TItems, wire.Items{Items: items}.Append(nil))
+
+	case wire.TStats:
+		m, err := wire.DecodeQueueReq(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad STATS: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		data, err := json.Marshal(q.stats())
+		if err != nil {
+			return s.replyErr(bw, f.ID, "stats: %v", err)
+		}
+		return reply(bw, f.ID, wire.TStatsReply, data)
+
+	case wire.TDrain:
+		m, err := wire.DecodeQueueReq(f.Payload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "bad DRAIN: %v", err)
+		}
+		q := s.lookup(m.Queue)
+		if q == nil {
+			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+		}
+		q.draining.Store(true)
+		rem := q.size()
+		if rem < 0 {
+			rem = 0
+		}
+		return reply(bw, f.ID, wire.TDrained, wire.Drained{Remaining: uint64(rem)}.Append(nil))
+
+	default:
+		return s.replyErr(bw, f.ID, "unknown request type %s", f.Type)
+	}
+}
+
+// WaitDrained polls until every queue is empty or the timeout expires —
+// a convenience for the daemon's graceful exit path.
+func (s *Server) WaitDrained(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		empty := true
+		s.mu.RLock()
+		for _, q := range s.queues {
+			if q.size() > 0 {
+				empty = false
+				break
+			}
+		}
+		s.mu.RUnlock()
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,401 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Payload encoding primitives: strings carry a uint16 length prefix
+// (queue names), byte blobs a uint32 prefix (values), integers are
+// big-endian. Each message type has an Append/Decode pair; Decode
+// rejects trailing garbage so a frame means exactly one message.
+
+// MaxBatchItems bounds the item count a single batch frame may carry,
+// keeping worst-case decode allocation proportional to the frame size.
+const MaxBatchItems = 1 << 16
+
+type cursor struct {
+	b []byte
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if len(c.b) < 2 {
+		return 0, ErrBadPayload
+	}
+	v := binary.BigEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if len(c.b) < 4 {
+		return 0, ErrBadPayload
+	}
+	v := binary.BigEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if len(c.b) < 8 {
+		return 0, ErrBadPayload
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	if len(c.b) < int(n) {
+		return "", ErrBadPayload
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s, nil
+}
+
+func (c *cursor) blob() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(c.b)) {
+		return nil, ErrBadPayload
+	}
+	v := c.b[:n:n]
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cursor) end() error {
+	if len(c.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(c.b))
+	}
+	return nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// Item is one (priority, value) pair.
+type Item struct {
+	Pri   uint32
+	Value []byte
+}
+
+// Insert is the TInsert request payload.
+type Insert struct {
+	Queue string
+	Item  Item
+}
+
+func (m Insert) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Queue)
+	dst = binary.BigEndian.AppendUint32(dst, m.Item.Pri)
+	return appendBlob(dst, m.Item.Value)
+}
+
+func DecodeInsert(p []byte) (Insert, error) {
+	c := cursor{p}
+	var m Insert
+	var err error
+	if m.Queue, err = c.str(); err != nil {
+		return m, err
+	}
+	if m.Item.Pri, err = c.u32(); err != nil {
+		return m, err
+	}
+	if m.Item.Value, err = c.blob(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// InsertBatch is the TInsertBatch request payload. The server admits a
+// prefix of Items (in order) and reports how many in InsertOK.
+type InsertBatch struct {
+	Queue string
+	Items []Item
+}
+
+func (m InsertBatch) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Queue)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		dst = binary.BigEndian.AppendUint32(dst, it.Pri)
+		dst = appendBlob(dst, it.Value)
+	}
+	return dst
+}
+
+func DecodeInsertBatch(p []byte) (InsertBatch, error) {
+	c := cursor{p}
+	var m InsertBatch
+	var err error
+	if m.Queue, err = c.str(); err != nil {
+		return m, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return m, err
+	}
+	if n > MaxBatchItems {
+		return m, fmt.Errorf("%w: batch of %d items", ErrBadPayload, n)
+	}
+	// Each item needs at least 8 bytes; reject counts the payload
+	// cannot possibly hold before allocating.
+	if uint64(n)*8 > uint64(len(c.b)) {
+		return m, ErrBadPayload
+	}
+	m.Items = make([]Item, n)
+	for i := range m.Items {
+		if m.Items[i].Pri, err = c.u32(); err != nil {
+			return m, err
+		}
+		if m.Items[i].Value, err = c.blob(); err != nil {
+			return m, err
+		}
+	}
+	return m, c.end()
+}
+
+// QueueReq is the shared payload of TDeleteMin, TStats and TDrain:
+// just a queue name.
+type QueueReq struct {
+	Queue string
+}
+
+func (m QueueReq) Append(dst []byte) []byte { return appendStr(dst, m.Queue) }
+
+func DecodeQueueReq(p []byte) (QueueReq, error) {
+	c := cursor{p}
+	var m QueueReq
+	var err error
+	if m.Queue, err = c.str(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// DeleteMinBatch is the TDeleteMinBatch request payload: remove up to
+// Max smallest-priority items in one round trip.
+type DeleteMinBatch struct {
+	Queue string
+	Max   uint32
+}
+
+func (m DeleteMinBatch) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Queue)
+	return binary.BigEndian.AppendUint32(dst, m.Max)
+}
+
+func DecodeDeleteMinBatch(p []byte) (DeleteMinBatch, error) {
+	c := cursor{p}
+	var m DeleteMinBatch
+	var err error
+	if m.Queue, err = c.str(); err != nil {
+		return m, err
+	}
+	if m.Max, err = c.u32(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// InsertOK is the TInsertOK response payload: the first Accepted items
+// of the request were admitted; Rejected were shed by admission
+// control and should be retried after RetryAfterMillis.
+type InsertOK struct {
+	Accepted         uint32
+	Rejected         uint32
+	RetryAfterMillis uint32
+}
+
+func (m InsertOK) Append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Accepted)
+	dst = binary.BigEndian.AppendUint32(dst, m.Rejected)
+	return binary.BigEndian.AppendUint32(dst, m.RetryAfterMillis)
+}
+
+func DecodeInsertOK(p []byte) (InsertOK, error) {
+	c := cursor{p}
+	var m InsertOK
+	var err error
+	if m.Accepted, err = c.u32(); err != nil {
+		return m, err
+	}
+	if m.Rejected, err = c.u32(); err != nil {
+		return m, err
+	}
+	if m.RetryAfterMillis, err = c.u32(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// AppendItem encodes the TItem response payload (one Item).
+func AppendItem(dst []byte, it Item) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, it.Pri)
+	return appendBlob(dst, it.Value)
+}
+
+func DecodeItem(p []byte) (Item, error) {
+	c := cursor{p}
+	var it Item
+	var err error
+	if it.Pri, err = c.u32(); err != nil {
+		return it, err
+	}
+	if it.Value, err = c.blob(); err != nil {
+		return it, err
+	}
+	return it, c.end()
+}
+
+// Items is the TItems response payload (delete-min batch results; may
+// be empty if the queue appeared empty).
+type Items struct {
+	Items []Item
+}
+
+func (m Items) Append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		dst = AppendItem(dst, it)
+	}
+	return dst
+}
+
+func DecodeItems(p []byte) (Items, error) {
+	c := cursor{p}
+	var m Items
+	n, err := c.u32()
+	if err != nil {
+		return m, err
+	}
+	if n > MaxBatchItems {
+		return m, fmt.Errorf("%w: batch of %d items", ErrBadPayload, n)
+	}
+	if uint64(n)*8 > uint64(len(c.b)) {
+		return m, ErrBadPayload
+	}
+	m.Items = make([]Item, n)
+	for i := range m.Items {
+		if m.Items[i].Pri, err = c.u32(); err != nil {
+			return m, err
+		}
+		if m.Items[i].Value, err = c.blob(); err != nil {
+			return m, err
+		}
+	}
+	return m, c.end()
+}
+
+// RetryAfter is the TRetryAfter response payload: the request was shed
+// by admission control; try again after Millis (plus client jitter).
+type RetryAfter struct {
+	Millis uint32
+}
+
+func (m RetryAfter) Append(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.Millis)
+}
+
+func DecodeRetryAfter(p []byte) (RetryAfter, error) {
+	c := cursor{p}
+	var m RetryAfter
+	var err error
+	if m.Millis, err = c.u32(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// Drained is the TDrained response payload: the queue stopped admitting
+// inserts; Remaining items were still queued when draining began.
+type Drained struct {
+	Remaining uint64
+}
+
+func (m Drained) Append(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.Remaining)
+}
+
+func DecodeDrained(p []byte) (Drained, error) {
+	c := cursor{p}
+	var m Drained
+	var err error
+	if m.Remaining, err = c.u64(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// ErrorMsg is the TError response payload.
+type ErrorMsg struct {
+	Msg string
+}
+
+func (m ErrorMsg) Append(dst []byte) []byte { return appendStr(dst, m.Msg) }
+
+func DecodeErrorMsg(p []byte) (ErrorMsg, error) {
+	c := cursor{p}
+	var m ErrorMsg
+	var err error
+	if m.Msg, err = c.str(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// DecodePayload decodes the typed message carried by f, returning one
+// of the payload structs above (Item for TItem, nil for TEmpty). It is
+// the demux used by the fuzzer and by generic logging; hot paths call
+// the typed decoders directly.
+func DecodePayload(f Frame) (any, error) {
+	switch f.Type {
+	case TInsert:
+		return DecodeInsert(f.Payload)
+	case TInsertBatch:
+		return DecodeInsertBatch(f.Payload)
+	case TDeleteMin, TStats, TDrain:
+		return DecodeQueueReq(f.Payload)
+	case TDeleteMinBatch:
+		return DecodeDeleteMinBatch(f.Payload)
+	case TInsertOK:
+		return DecodeInsertOK(f.Payload)
+	case TItem:
+		return DecodeItem(f.Payload)
+	case TEmpty:
+		if len(f.Payload) != 0 {
+			return nil, ErrBadPayload
+		}
+		return nil, nil
+	case TItems:
+		return DecodeItems(f.Payload)
+	case TRetryAfter:
+		return DecodeRetryAfter(f.Payload)
+	case TStatsReply:
+		return f.Payload, nil // opaque JSON
+	case TDrained:
+		return DecodeDrained(f.Payload)
+	case TError:
+		return DecodeErrorMsg(f.Payload)
+	}
+	return nil, ErrUnknownType
+}

@@ -1,0 +1,24 @@
+package wire
+
+// QueueStats is the JSON document carried by a TStatsReply frame. It is
+// defined here so server and client marshal/unmarshal the same shape.
+//
+// Counter semantics: Inserts counts admitted items, RetryAfter counts
+// items shed by admission control, Deletes counts successful
+// delete-mins and EmptyDeletes the delete-mins that found the queue
+// (apparently) empty. Size is Inserts-Deletes — approximate while
+// operations are in flight, exact at quiescence, mirroring the
+// quiescent consistency of the underlying structures.
+type QueueStats struct {
+	Queue        string `json:"queue"`
+	Algorithm    string `json:"algorithm"`
+	Priorities   int    `json:"priorities"`
+	Shards       int    `json:"shards"`
+	Capacity     int64  `json:"capacity"` // 0 = unbounded
+	Inserts      int64  `json:"inserts"`
+	Deletes      int64  `json:"deletes"`
+	EmptyDeletes int64  `json:"empty_deletes"`
+	RetryAfter   int64  `json:"retry_after"`
+	Size         int64  `json:"size"`
+	Draining     bool   `json:"draining"`
+}

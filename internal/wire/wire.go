@@ -1,0 +1,208 @@
+// Package wire defines pqd's small length-prefixed binary protocol.
+//
+// Every message is one frame:
+//
+//	uint32  payload length (big-endian) — bytes after this field
+//	uint8   protocol version (currently 1)
+//	uint8   frame type
+//	uint16  flags (reserved, must be zero)
+//	uint32  request id (echoed verbatim in the response)
+//	...     type-specific payload
+//
+// Requests and responses share the framing; clients pipeline requests
+// freely and match responses by request id (responses to one
+// connection's requests may interleave but each request gets exactly
+// one response). Integers are big-endian; strings are uint16-length-
+// prefixed, byte blobs uint32-length-prefixed.
+//
+// The protocol is versioned per frame so a server can serve old clients
+// during a rollout: a frame with an unknown version or type yields a
+// TError response, never a closed connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxFrame bounds a frame's payload length; DecodeFrame and ReadFrame
+// reject anything larger so a corrupt or hostile length prefix cannot
+// force an unbounded allocation.
+const MaxFrame = 1 << 20
+
+// headerLen is the fixed frame header after the length prefix:
+// version(1) + type(1) + flags(2) + request id(4).
+const headerLen = 8
+
+// Type identifies a frame's meaning.
+type Type uint8
+
+// Request frame types.
+const (
+	TInsert         Type = 0x01 // Insert payload
+	TInsertBatch    Type = 0x02 // InsertBatch payload
+	TDeleteMin      Type = 0x03 // queue name only
+	TDeleteMinBatch Type = 0x04 // DeleteMinBatch payload
+	TStats          Type = 0x05 // queue name only
+	TDrain          Type = 0x06 // queue name only
+)
+
+// Response frame types.
+const (
+	TInsertOK   Type = 0x81 // InsertOK payload
+	TItem       Type = 0x82 // Item payload (delete-min hit)
+	TEmpty      Type = 0x83 // no payload (delete-min miss)
+	TItems      Type = 0x84 // Items payload (delete-min batch)
+	TRetryAfter Type = 0x85 // RetryAfter payload (admission shed)
+	TStatsReply Type = 0x86 // opaque JSON payload
+	TDrained    Type = 0x87 // Drained payload
+	TError      Type = 0x88 // ErrorMsg payload
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInsert:
+		return "INSERT"
+	case TInsertBatch:
+		return "INSERT_BATCH"
+	case TDeleteMin:
+		return "DELETE_MIN"
+	case TDeleteMinBatch:
+		return "DELETE_MIN_BATCH"
+	case TStats:
+		return "STATS"
+	case TDrain:
+		return "DRAIN"
+	case TInsertOK:
+		return "INSERT_OK"
+	case TItem:
+		return "ITEM"
+	case TEmpty:
+		return "EMPTY"
+	case TItems:
+		return "ITEMS"
+	case TRetryAfter:
+		return "RETRY_AFTER"
+	case TStatsReply:
+		return "STATS_REPLY"
+	case TDrained:
+		return "DRAINED"
+	case TError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("Type(0x%02x)", uint8(t))
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Version uint8
+	Type    Type
+	ID      uint32
+	Payload []byte
+}
+
+// Protocol decode errors.
+var (
+	ErrShort       = errors.New("wire: truncated frame")
+	ErrTooLarge    = fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrBadFlags    = errors.New("wire: nonzero reserved flags")
+	ErrBadPayload  = errors.New("wire: malformed payload")
+	ErrUnknownType = errors.New("wire: unknown frame type")
+)
+
+// AppendFrame appends f's encoding to dst and returns the result.
+func AppendFrame(dst []byte, f Frame) []byte {
+	v := f.Version
+	if v == 0 {
+		v = Version
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	dst = append(dst, v, uint8(f.Type))
+	dst = binary.BigEndian.AppendUint16(dst, 0) // flags
+	dst = binary.BigEndian.AppendUint32(dst, f.ID)
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// frame and the number of bytes consumed. ErrShort means more input is
+// needed; any other error means the stream is unrecoverable. The
+// returned payload aliases buf.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < 4 {
+		return Frame{}, 0, ErrShort
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > MaxFrame {
+		return Frame{}, 0, ErrTooLarge
+	}
+	if n < headerLen {
+		return Frame{}, 0, fmt.Errorf("%w: length %d below header size", ErrBadPayload, n)
+	}
+	total := 4 + int(n)
+	if len(buf) < total {
+		return Frame{}, 0, ErrShort
+	}
+	f := Frame{
+		Version: buf[4],
+		Type:    Type(buf[5]),
+		ID:      binary.BigEndian.Uint32(buf[8:12]),
+		Payload: buf[12:total],
+	}
+	if f.Version != Version {
+		return Frame{}, 0, ErrBadVersion
+	}
+	if binary.BigEndian.Uint16(buf[6:8]) != 0 {
+		return Frame{}, 0, ErrBadFlags
+	}
+	return f, total, nil
+}
+
+// ReadFrame reads exactly one frame from r. The payload is freshly
+// allocated and does not alias any internal buffer.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4 + headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return Frame{}, ErrTooLarge
+	}
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("%w: length %d below header size", ErrBadPayload, n)
+	}
+	f := Frame{
+		Version: hdr[4],
+		Type:    Type(hdr[5]),
+		ID:      binary.BigEndian.Uint32(hdr[8:12]),
+	}
+	if f.Version != Version {
+		return Frame{}, ErrBadVersion
+	}
+	if binary.BigEndian.Uint16(hdr[6:8]) != 0 {
+		return Frame{}, ErrBadFlags
+	}
+	if n > headerLen {
+		f.Payload = make([]byte, n-headerLen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// WriteFrame writes f to w in one Write call.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, 4+headerLen+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}

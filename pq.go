@@ -135,25 +135,43 @@ func NewLinearFunnels[V any](priorities int, opts ...Option) (Queue[V], error) {
 // admission counters, bounded resource pools).
 type Counter = funnel.Counter
 
-// NewCounter builds a funnel counter with the given initial value. If
-// bounded, decrements never take the value below bound and reversing
-// operations eliminate.
-func NewCounter(initial int64, bounded bool, bound int64, opts ...Option) *Counter {
+// NoBound disables one side of a NewCounterBounds range.
+const NoBound = funnel.NoBound
+
+// resolveFunnelParams applies opts and returns the funnel tuning they
+// select: an explicit WithFunnelParams wins, otherwise defaults sized
+// to WithConcurrency (or GOMAXPROCS). All standalone funnel-object
+// constructors resolve options through here so the two paths cannot
+// drift.
+func resolveFunnelParams(opts []Option) funnel.Params {
 	cfg := core.Config{Priorities: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var params funnel.Params
 	if cfg.FunnelParams != nil {
-		params = *cfg.FunnelParams
-	} else {
-		conc := cfg.Concurrency
-		if conc <= 0 {
-			conc = defaultConcurrency()
-		}
-		params = funnel.DefaultParams(conc)
+		return *cfg.FunnelParams
 	}
-	return funnel.NewCounter(params, initial, bounded, bound)
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = defaultConcurrency()
+	}
+	return funnel.DefaultParams(conc)
+}
+
+// NewCounter builds a funnel counter with the given initial value. If
+// bounded, decrements never take the value below bound and reversing
+// operations eliminate.
+func NewCounter(initial int64, bounded bool, bound int64, opts ...Option) *Counter {
+	return funnel.NewCounter(resolveFunnelParams(opts), initial, bounded, bound)
+}
+
+// NewCounterBounds builds a funnel counter whose value stays in
+// [lower, upper]: fetch-and-decrement never goes below lower and
+// fetch-and-increment (Counter.BFaI) never above upper. Use ±NoBound to
+// disable a side. An upper-bounded counter is an admission semaphore —
+// the use the pqd server puts it to.
+func NewCounterBounds(initial, lower, upper int64, opts ...Option) *Counter {
+	return funnel.NewCounterBounds(resolveFunnelParams(opts), initial, lower, upper)
 }
 
 // Stack is a combining-funnel stack with elimination, exposed for the
@@ -162,19 +180,5 @@ type Stack[V any] = funnel.Stack[V]
 
 // NewStack builds an empty funnel stack.
 func NewStack[V any](opts ...Option) *Stack[V] {
-	cfg := core.Config{Priorities: 1}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	var params funnel.Params
-	if cfg.FunnelParams != nil {
-		params = *cfg.FunnelParams
-	} else {
-		conc := cfg.Concurrency
-		if conc <= 0 {
-			conc = defaultConcurrency()
-		}
-		params = funnel.DefaultParams(conc)
-	}
-	return funnel.NewStack[V](params)
+	return funnel.NewStack[V](resolveFunnelParams(opts))
 }

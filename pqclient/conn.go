@@ -1,0 +1,284 @@
+package pqclient
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"pq/internal/wire"
+)
+
+// call is one logical request. Insert calls (kind TInsert) carry their
+// item for coalescing; every other kind arrives with its payload
+// pre-encoded. The conn closes done exactly once with err (and, for
+// non-insert kinds, resp) set.
+type call struct {
+	kind    wire.Type
+	queue   string
+	item    wire.Item // TInsert only
+	payload []byte    // every other kind
+
+	resp wire.Frame
+	err  error
+	done chan struct{}
+}
+
+func (cl *call) finish(resp wire.Frame, err error) {
+	cl.resp, cl.err = resp, err
+	close(cl.done)
+}
+
+// pending is what one request id resolves: a single call, or the
+// member calls of a coalesced INSERT_BATCH in wire order.
+type pending struct {
+	calls []*call
+}
+
+// conn is one pooled connection: a writer goroutine that drains sendCh
+// (coalescing adjacent same-queue inserts and flushing only when the
+// pipeline runs dry) and a reader goroutine that matches response
+// frames to pending requests by id.
+type conn struct {
+	cfg Config
+	nc  net.Conn
+
+	sendCh chan *call
+
+	mu      sync.Mutex
+	pend    map[uint32]pending
+	nextID  uint32
+	err     error
+	closed  chan struct{}
+	closeFn sync.Once
+}
+
+func dialConn(cfg Config) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{
+		cfg:    cfg,
+		nc:     nc,
+		sendCh: make(chan *call, 4*cfg.MaxCoalesce),
+		pend:   make(map[uint32]pending),
+		closed: make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) dead() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *conn) closeErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// close tears the connection down and fails everything in flight.
+func (c *conn) close(err error) {
+	c.closeFn.Do(func() {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		failed := c.pend
+		c.pend = map[uint32]pending{}
+		c.mu.Unlock()
+		close(c.closed)
+		c.nc.Close()
+		for _, p := range failed {
+			for _, cl := range p.calls {
+				cl.finish(wire.Frame{}, err)
+			}
+		}
+		// Fail whatever is parked in the send queue; producers racing
+		// with this drain see c.closed in their select.
+		for {
+			select {
+			case cl := <-c.sendCh:
+				cl.finish(wire.Frame{}, err)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// register assigns a request id to a group of calls.
+func (c *conn) register(calls []*call) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, false
+	}
+	c.nextID++
+	id := c.nextID
+	c.pend[id] = pending{calls: calls}
+	return id, true
+}
+
+func (c *conn) take(id uint32) (pending, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pend[id]
+	if ok {
+		delete(c.pend, id)
+	}
+	return p, ok
+}
+
+// writeLoop drains sendCh. A popped Insert greedily absorbs further
+// queued Inserts to the same queue (up to MaxCoalesce) into one
+// INSERT_BATCH frame; the buffered writer is flushed only when the
+// send queue runs dry, so pipelined callers share syscalls.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var holdover *call
+	for {
+		var cl *call
+		if holdover != nil {
+			cl, holdover = holdover, nil
+		} else {
+			select {
+			case cl = <-c.sendCh:
+			case <-c.closed:
+				return
+			}
+		}
+		var werr error
+		if cl.kind == wire.TInsert && c.cfg.MaxCoalesce > 1 {
+			group := []*call{cl}
+		collect:
+			for len(group) < c.cfg.MaxCoalesce {
+				select {
+				case nx := <-c.sendCh:
+					if nx.kind == wire.TInsert && nx.queue == cl.queue {
+						group = append(group, nx)
+					} else {
+						holdover = nx
+						break collect
+					}
+				default:
+					break collect
+				}
+			}
+			werr = c.writeInserts(bw, group)
+		} else {
+			werr = c.writeOne(bw, cl)
+		}
+		if werr == nil && holdover == nil && len(c.sendCh) == 0 {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			c.close(werr)
+			return
+		}
+	}
+}
+
+// writeInserts sends a group of same-queue inserts as one frame.
+func (c *conn) writeInserts(bw *bufio.Writer, group []*call) error {
+	id, ok := c.register(group)
+	if !ok {
+		return c.closeErr()
+	}
+	if len(group) == 1 {
+		m := wire.Insert{Queue: group[0].queue, Item: group[0].item}
+		return wire.WriteFrame(bw, wire.Frame{Type: wire.TInsert, ID: id, Payload: m.Append(nil)})
+	}
+	m := wire.InsertBatch{Queue: group[0].queue, Items: make([]wire.Item, len(group))}
+	for i, g := range group {
+		m.Items[i] = g.item
+	}
+	return wire.WriteFrame(bw, wire.Frame{Type: wire.TInsertBatch, ID: id, Payload: m.Append(nil)})
+}
+
+func (c *conn) writeOne(bw *bufio.Writer, cl *call) error {
+	id, ok := c.register([]*call{cl})
+	if !ok {
+		return c.closeErr()
+	}
+	return wire.WriteFrame(bw, wire.Frame{Type: cl.kind, ID: id, Payload: cl.payload})
+}
+
+// readLoop matches responses to pending calls.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			c.close(err)
+			return
+		}
+		p, ok := c.take(f.ID)
+		if !ok {
+			continue // response to an abandoned request
+		}
+		c.deliver(p, f)
+	}
+}
+
+// deliver resolves a pending entry from its response frame.
+func (c *conn) deliver(p pending, f wire.Frame) {
+	// A group of >1 calls is a coalesced INSERT_BATCH: the server
+	// admitted an in-order prefix.
+	if len(p.calls) > 1 || (len(p.calls) == 1 && p.calls[0].kind == wire.TInsert) {
+		switch f.Type {
+		case wire.TInsertOK:
+			ok, err := wire.DecodeInsertOK(f.Payload)
+			if err != nil {
+				for _, cl := range p.calls {
+					cl.finish(wire.Frame{}, &ServerError{Msg: "bad INSERT_OK payload"})
+				}
+				return
+			}
+			retry := &RetryError{After: time.Duration(ok.RetryAfterMillis) * time.Millisecond}
+			for i, cl := range p.calls {
+				if uint32(i) < ok.Accepted {
+					cl.finish(f, nil)
+				} else {
+					cl.finish(f, retry)
+				}
+			}
+		case wire.TRetryAfter:
+			ra, _ := wire.DecodeRetryAfter(f.Payload)
+			retry := &RetryError{After: time.Duration(ra.Millis) * time.Millisecond}
+			for _, cl := range p.calls {
+				cl.finish(f, retry)
+			}
+		case wire.TError:
+			em, _ := wire.DecodeErrorMsg(f.Payload)
+			for _, cl := range p.calls {
+				cl.finish(f, &ServerError{Msg: em.Msg})
+			}
+		default:
+			for _, cl := range p.calls {
+				cl.finish(f, &ServerError{Msg: "unexpected " + f.Type.String() + " response to insert"})
+			}
+		}
+		return
+	}
+
+	cl := p.calls[0]
+	switch f.Type {
+	case wire.TError:
+		em, _ := wire.DecodeErrorMsg(f.Payload)
+		cl.finish(f, &ServerError{Msg: em.Msg})
+	case wire.TRetryAfter:
+		ra, _ := wire.DecodeRetryAfter(f.Payload)
+		cl.finish(f, &RetryError{After: time.Duration(ra.Millis) * time.Millisecond})
+	default:
+		cl.finish(f, nil)
+	}
+}

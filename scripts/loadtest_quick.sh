@@ -1,0 +1,60 @@
+#!/bin/sh
+# Loopback service smoke: build pqd + pqload, serve a sharded
+# FunnelTree with a tight admission bound on an ephemeral port, hammer
+# it for 2s, then assert (a) the generator drained cleanly — pqload
+# exits nonzero if the server's insert/delete counters disagree after
+# the drain — (b) the emitted JSON validates against pq-bench/v1, and
+# (c) the daemon itself exits cleanly on SIGTERM.
+#
+# Used by `make loadtest-quick` and the CI "Service loopback smoke" step.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+ADDR=${PQD_ADDR:-127.0.0.1:7941}
+OUT=${PQLOAD_JSON:-pqload-smoke.json}
+
+$GO build -o "$BIN/pqd" ./cmd/pqd
+$GO build -o "$BIN/pqload" ./cmd/pqload
+
+"$BIN/pqd" -addr "$ADDR" \
+  -queues "default:FunnelTree:64:4:5000,overload:FunnelTree:16:2:64" &
+PQD_PID=$!
+trap 'kill "$PQD_PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+i=0
+until "$BIN/pqload" -addr "$ADDR" -duration 50ms -workers 1 -drain=false >/dev/null 2>&1; do
+  i=$((i+1))
+  if [ "$i" -ge 50 ]; then
+    echo "loadtest_quick: pqd never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Main run: concurrent workers against the sharded queue, clean drain
+# asserted by pqload itself, JSON emitted for the schema check.
+"$BIN/pqload" -addr "$ADDR" -queue default \
+  -workers 8 -conns 4 -duration 2s -json "$OUT"
+
+# Overload run: a capacity-64 queue under insert-heavy load must shed.
+"$BIN/pqload" -addr "$ADDR" -queue overload \
+  -workers 8 -conns 4 -duration 1s -mix 0.9 -json pqload-overload.json
+
+# Schema check on both documents. `go test` runs with the package
+# directory as cwd, so the paths must be absolute.
+BENCH_JSON="$PWD/$OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+BENCH_JSON="$PWD/pqload-overload.json" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+
+# The overload run must have observably shed (RETRY_AFTER count > 0).
+if ! grep -q '"server_retry_after": [1-9]' pqload-overload.json; then
+  echo "loadtest_quick: admission control never shed under overload" >&2
+  exit 1
+fi
+
+# Graceful drain: SIGTERM must terminate pqd cleanly.
+kill -TERM "$PQD_PID"
+wait "$PQD_PID"
+trap - EXIT
+echo "loadtest_quick: OK ($OUT)"
