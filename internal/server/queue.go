@@ -144,20 +144,73 @@ func (q *servedQueue) insert(it wire.Item) insertStatus {
 	return insOK
 }
 
+// popRaw removes the most urgent tagged entry from the shards without
+// touching the admission counter or serving stats; callers either
+// commit the removal with popCommit or undo it with putBack.
+func (q *servedQueue) popRaw() ([]byte, bool) {
+	for _, sub := range q.shards {
+		if v, ok := sub.DeleteMin(); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// putBack returns an entry taken by popRaw to its shard. Since popRaw
+// touched nothing but the shard, this fully reverses it — shards have
+// no capacity bound, so putBack cannot fail or be shed.
+func (q *servedQueue) putBack(tagged []byte) {
+	pri := int(binary.BigEndian.Uint32(tagged))
+	s := q.shardFor(pri)
+	q.shards[s].Insert(pri-q.bases[s], tagged)
+}
+
+// popCommit records a popRaw whose item will be delivered: free the
+// admission slot and count the delete.
+func (q *servedQueue) popCommit() {
+	if q.admit != nil {
+		q.admit.FaD()
+	}
+	q.deletes.Add(1)
+}
+
 // deleteMin scans shards in priority order and removes the most urgent
 // item found.
 func (q *servedQueue) deleteMin() (wire.Item, bool) {
-	for _, sub := range q.shards {
-		if v, ok := sub.DeleteMin(); ok {
-			if q.admit != nil {
-				q.admit.FaD()
-			}
-			q.deletes.Add(1)
-			return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true
-		}
+	v, ok := q.popRaw()
+	if !ok {
+		q.emptyDeletes.Add(1)
+		return wire.Item{}, false
 	}
-	q.emptyDeletes.Add(1)
-	return wire.Item{}, false
+	q.popCommit()
+	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true
+}
+
+// deleteMinBatch removes up to max items whose combined TItems encoding
+// stays within budget payload bytes. An item that would overflow the
+// budget goes back to its shard un-popped, so a response frame never
+// exceeds the wire limit and no popped item is ever dropped. Any single
+// admitted item fits (values are capped at wire.MaxValue), so progress
+// is guaranteed: the first pop is always kept.
+func (q *servedQueue) deleteMinBatch(max, budget int) []wire.Item {
+	var items []wire.Item
+	bytes := 4 // item-count prefix
+	for len(items) < max {
+		v, ok := q.popRaw()
+		if !ok {
+			q.emptyDeletes.Add(1)
+			break
+		}
+		sz := 4 + len(v) // pri(4) + bloblen(4) + value(len(v)-4)
+		if len(items) > 0 && bytes+sz > budget {
+			q.putBack(v)
+			break
+		}
+		q.popCommit()
+		bytes += sz
+		items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]})
+	}
+	return items
 }
 
 // stats snapshots the serving counters.

@@ -222,6 +222,15 @@ func (s *Server) dropConn(c net.Conn) {
 	s.connsWG.Done()
 }
 
+// connReq is one decoded frame handed from a connection's reader
+// goroutine to its processor. protoErr carries a recoverable per-frame
+// protocol error (bad version / bad flags): the frame was consumed from
+// the stream and the processor replies TError instead of dispatching.
+type connReq struct {
+	f        wire.Frame
+	protoErr error
+}
+
 // serveConn runs one connection: a reader goroutine decodes frames
 // into a channel and this goroutine processes them, flushing the
 // buffered writer only when the pipeline runs dry or MaxBatch requests
@@ -229,38 +238,47 @@ func (s *Server) dropConn(c net.Conn) {
 func (s *Server) serveConn(c net.Conn) {
 	defer s.dropConn(c)
 
-	reqs := make(chan wire.Frame, s.cfg.MaxBatch)
+	// done tells the reader the processor is gone (write error), so a
+	// reader blocked sending into a full reqs channel doesn't leak.
+	done := make(chan struct{})
+	defer close(done)
+
+	reqs := make(chan connReq, s.cfg.MaxBatch)
 	go func() {
 		defer close(reqs)
 		br := bufio.NewReaderSize(c, 64<<10)
 		for {
 			f, err := wire.ReadFrame(br)
-			if err != nil {
+			if err != nil && !errors.Is(err, wire.ErrBadVersion) && !errors.Is(err, wire.ErrBadFlags) {
 				if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
 					s.cfg.Logf("server: %s: read: %v", c.RemoteAddr(), err)
 				}
 				return
 			}
-			reqs <- f
+			select {
+			case reqs <- connReq{f: f, protoErr: err}:
+			case <-done:
+				return
+			}
 		}
 	}()
 
 	bw := bufio.NewWriterSize(c, 64<<10)
-	for f := range reqs {
+	for r := range reqs {
 		n := 1
-		if err := s.handle(f, bw); err != nil {
+		if err := s.handle(r, bw); err != nil {
 			s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
 			return
 		}
 	batch:
 		for n < s.cfg.MaxBatch {
 			select {
-			case f2, ok := <-reqs:
+			case r2, ok := <-reqs:
 				if !ok {
 					break batch
 				}
 				n++
-				if err := s.handle(f2, bw); err != nil {
+				if err := s.handle(r2, bw); err != nil {
 					s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
 					return
 				}
@@ -293,12 +311,19 @@ func (s *Server) retryPayload() []byte {
 }
 
 // handle processes one request frame and writes its single response.
-func (s *Server) handle(f wire.Frame, bw *bufio.Writer) error {
+func (s *Server) handle(r connReq, bw *bufio.Writer) error {
+	f := r.f
+	if r.protoErr != nil {
+		return s.replyErr(bw, f.ID, "%v (frame version %d, flags ignored until version matches)", r.protoErr, f.Version)
+	}
 	switch f.Type {
 	case wire.TInsert:
 		m, err := wire.DecodeInsert(f.Payload)
 		if err != nil {
 			return s.replyErr(bw, f.ID, "bad INSERT: %v", err)
+		}
+		if len(m.Item.Value) > wire.MaxValue {
+			return s.replyErr(bw, f.ID, "value %d bytes exceeds limit %d", len(m.Item.Value), wire.MaxValue)
 		}
 		q := s.lookup(m.Queue)
 		if q == nil {
@@ -323,10 +348,15 @@ func (s *Server) handle(f wire.Frame, bw *bufio.Writer) error {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
 		// Validate the whole batch before admitting any of it, so a
-		// batch is either a protocol error or an admitted prefix.
-		for _, it := range m.Items {
+		// batch is either a protocol error or an admitted prefix. The
+		// error names the offending index: a client that coalesced
+		// unrelated inserts can tell whose item was bad.
+		for i, it := range m.Items {
 			if int(it.Pri) >= q.spec.Priorities {
-				return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", it.Pri, q.spec.Priorities)
+				return s.replyErr(bw, f.ID, "item %d: priority %d out of range [0,%d)", i, it.Pri, q.spec.Priorities)
+			}
+			if len(it.Value) > wire.MaxValue {
+				return s.replyErr(bw, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
 			}
 		}
 		accepted := 0
@@ -370,14 +400,10 @@ func (s *Server) handle(f wire.Frame, bw *bufio.Writer) error {
 		if max <= 0 || max > wire.MaxBatchItems {
 			return s.replyErr(bw, f.ID, "bad DELETE_MIN_BATCH max %d", m.Max)
 		}
-		var items []wire.Item
-		for len(items) < max {
-			it, ok := q.deleteMin()
-			if !ok {
-				break
-			}
-			items = append(items, it)
-		}
+		// The pop loop is bounded by encoded response bytes as well as
+		// max, so the TItems frame always fits under wire.MaxFrame; a
+		// short response just means the client should ask again.
+		items := q.deleteMinBatch(max, wire.MaxPayload)
 		return reply(bw, f.ID, wire.TItems, wire.Items{Items: items}.Append(nil))
 
 	case wire.TStats:

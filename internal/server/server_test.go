@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -306,5 +307,181 @@ func TestRawWireErrors(t *testing.T) {
 	}
 	if f, err = wire.ReadFrame(nc); err != nil || f.Type != wire.TStatsReply {
 		t.Fatalf("after error frame: %v %v", f.Type, err)
+	}
+
+	// A frame with an unknown protocol version likewise gets a TError
+	// by id (the rollout guarantee) and the connection keeps serving.
+	raw := wire.AppendFrame(nil, wire.Frame{Type: wire.TInsert, ID: 21,
+		Payload: wire.Insert{Queue: "jobs", Item: wire.Item{Pri: 1, Value: []byte("v")}}.Append(nil)})
+	raw[4] = 9 // version byte
+	if _, err := nc.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = wire.ReadFrame(nc); err != nil || f.Type != wire.TError || f.ID != 21 {
+		t.Fatalf("bad-version frame: type=%v id=%d err=%v, want ERROR id=21", f.Type, f.ID, err)
+	}
+	if err := wire.WriteFrame(nc, wire.Frame{Type: wire.TDeleteMin, ID: 22,
+		Payload: wire.QueueReq{Queue: "jobs"}.Append(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = wire.ReadFrame(nc); err != nil || f.ID != 22 {
+		t.Fatalf("after bad-version frame: %v %v", f.Type, err)
+	}
+}
+
+// TestDeleteMinBatchRespectsFrameLimit fills a queue with values big
+// enough that a max-count batch would blow past wire.MaxFrame, then
+// drains with DeleteMinBatch: every response must stay decodable (the
+// server stops popping before the frame overflows and puts the
+// overflowing item back), and every item must come out exactly once.
+func TestDeleteMinBatchRespectsFrameLimit(t *testing.T) {
+	_, addr := startServer(t, QueueSpec{Name: "big", Algorithm: pq.SimpleLinear, Priorities: 8})
+	c := dialClient(t, addr, func(cfg *pqclient.Config) { cfg.RequestTimeout = 30 * time.Second })
+	ctx := context.Background()
+
+	const n, valSize = 7, 300 << 10 // 7 × 300 KiB ≈ 2 MiB > MaxFrame
+	for i := 0; i < n; i++ {
+		v := make([]byte, valSize)
+		binary.BigEndian.PutUint32(v, uint32(i))
+		if err := c.Insert(ctx, "big", i%8, v); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	seen := make([]bool, n)
+	rounds, got := 0, 0
+	for {
+		items, err := c.DeleteMinBatch(ctx, "big", 64)
+		if err != nil {
+			t.Fatalf("batch round %d: %v", rounds, err)
+		}
+		if len(items) == 0 {
+			break
+		}
+		rounds++
+		for _, it := range items {
+			if len(it.Value) != valSize {
+				t.Fatalf("value truncated to %d bytes", len(it.Value))
+			}
+			id := binary.BigEndian.Uint32(it.Value)
+			if seen[id] {
+				t.Fatalf("item %d served twice", id)
+			}
+			seen[id] = true
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("drained %d items, want %d", got, n)
+	}
+	if rounds < 2 {
+		t.Fatalf("all %d large items arrived in %d response(s); frame cap never engaged", n, rounds)
+	}
+}
+
+// TestClientRejectsOversizedRequests checks that requests the server's
+// frame limit could never accept fail client-side with a descriptive
+// error — and without poisoning the connection for later requests.
+func TestClientRejectsOversizedRequests(t *testing.T) {
+	_, addr := startServer(t, QueueSpec{Name: "jobs", Algorithm: pq.SimpleLinear, Priorities: 4})
+	c := dialClient(t, addr)
+	ctx := context.Background()
+
+	if err := c.Insert(ctx, "jobs", 0, make([]byte, wire.MaxValue+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	} else if _, isServer := err.(*pqclient.ServerError); isServer {
+		t.Fatalf("oversized value reached the server: %v", err)
+	}
+
+	big := make([]pqclient.Item, 40)
+	for i := range big {
+		big[i] = pqclient.Item{Pri: 1, Value: make([]byte, 40<<10)}
+	}
+	if _, err := c.InsertBatch(ctx, "jobs", big); err == nil {
+		t.Fatal("oversized batch accepted")
+	} else if _, isServer := err.(*pqclient.ServerError); isServer {
+		t.Fatalf("oversized batch reached the server: %v", err)
+	}
+
+	// The same client must still work.
+	if err := c.Insert(ctx, "jobs", 1, []byte("ok")); err != nil {
+		t.Fatalf("insert after rejections: %v", err)
+	}
+	if it, ok, err := c.DeleteMin(ctx, "jobs"); err != nil || !ok || string(it.Value) != "ok" {
+		t.Fatalf("delete after rejections: %v %v", ok, err)
+	}
+}
+
+// TestCoalescedErrorNotFateShared mixes valid inserts with out-of-range
+// priorities on one heavily-coalesced connection: the server TErrors any
+// batch containing a bad item, so the client must resend coalesced
+// members individually — valid inserts all succeed, invalid ones all
+// fail with ServerError, and nothing is lost or duplicated.
+func TestCoalescedErrorNotFateShared(t *testing.T) {
+	const pris = 8
+	_, addr := startServer(t, QueueSpec{Name: "jobs", Algorithm: pq.SimpleLinear, Priorities: pris})
+	c := dialClient(t, addr, func(cfg *pqclient.Config) {
+		cfg.Conns = 1
+		cfg.MaxCoalesce = 16
+	})
+	ctx := context.Background()
+
+	const n = 240
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pri := i % pris
+			if i%5 == 4 {
+				pri = pris + i // out of range, must fail alone
+			}
+			v := make([]byte, 4)
+			binary.BigEndian.PutUint32(v, uint32(i))
+			errs[i] = c.Insert(ctx, "jobs", pri, v)
+		}()
+	}
+	wg.Wait()
+
+	valid := 0
+	for i, err := range errs {
+		if i%5 == 4 {
+			var se *pqclient.ServerError
+			if !errors.As(err, &se) {
+				t.Errorf("bad insert %d: err = %v, want ServerError", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("valid insert %d fate-shared a batch error: %v", i, err)
+			continue
+		}
+		valid++
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	seen := make(map[uint32]bool, valid)
+	for {
+		items, err := c.DeleteMinBatch(ctx, "jobs", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) == 0 {
+			break
+		}
+		for _, it := range items {
+			id := binary.BigEndian.Uint32(it.Value)
+			if seen[id] {
+				t.Fatalf("item %d served twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != valid {
+		t.Fatalf("drained %d items, want %d", len(seen), valid)
 	}
 }

@@ -34,7 +34,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := DecodeFrame(data)
 		if err != nil {
-			if n != 0 {
+			// Bad version/flags are recoverable: the whole frame must
+			// have been consumed so the caller can resync. Every other
+			// error must consume nothing.
+			if errors.Is(err, ErrBadVersion) || errors.Is(err, ErrBadFlags) {
+				if n < 4+headerLen || n > len(data) {
+					t.Fatalf("recoverable %v consumed %d of %d bytes", err, n, len(data))
+				}
+			} else if n != 0 {
 				t.Fatalf("error %v but consumed %d bytes", err, n)
 			}
 			return

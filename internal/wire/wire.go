@@ -16,8 +16,12 @@
 // prefixed, byte blobs uint32-length-prefixed.
 //
 // The protocol is versioned per frame so a server can serve old clients
-// during a rollout: a frame with an unknown version or type yields a
-// TError response, never a closed connection.
+// during a rollout: a frame with an unknown version, nonzero reserved
+// flags, or an unknown type yields a TError response, never a closed
+// connection. This works because the version byte sits inside the
+// length-delimited region: ReadFrame and DecodeFrame consume the whole
+// frame before reporting ErrBadVersion/ErrBadFlags, so the stream stays
+// in sync and the server can reply and keep reading.
 package wire
 
 import (
@@ -38,6 +42,18 @@ const MaxFrame = 1 << 20
 // headerLen is the fixed frame header after the length prefix:
 // version(1) + type(1) + flags(2) + request id(4).
 const headerLen = 8
+
+// MaxPayload bounds a frame's type-specific payload: MaxFrame minus the
+// fixed header. Writers must keep encoded payloads at or below this or
+// the peer's ReadFrame rejects the frame as ErrTooLarge.
+const MaxPayload = MaxFrame - headerLen
+
+// MaxValue bounds one item's value bytes. It is strictly smaller than
+// MaxPayload so that any admitted item — with priority tag, blob length
+// prefix, and batch count — always fits a TItem or single-item TItems
+// response frame; servers reject larger values at insert time rather
+// than discovering at delete-min time that the item cannot be returned.
+const MaxValue = MaxFrame - 64
 
 // Type identifies a frame's meaning.
 type Type uint8
@@ -131,8 +147,11 @@ func AppendFrame(dst []byte, f Frame) []byte {
 
 // DecodeFrame decodes one frame from the front of buf, returning the
 // frame and the number of bytes consumed. ErrShort means more input is
-// needed; any other error means the stream is unrecoverable. The
-// returned payload aliases buf.
+// needed. ErrBadVersion and ErrBadFlags are recoverable: the whole
+// frame was consumed (the count is returned alongside the header fields
+// so a server can reply TError by id and resync on the next frame). Any
+// other error means the stream is unrecoverable. The returned payload
+// aliases buf.
 func DecodeFrame(buf []byte) (Frame, int, error) {
 	if len(buf) < 4 {
 		return Frame{}, 0, ErrShort
@@ -155,16 +174,20 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		Payload: buf[12:total],
 	}
 	if f.Version != Version {
-		return Frame{}, 0, ErrBadVersion
+		return Frame{Version: f.Version, Type: f.Type, ID: f.ID}, total, ErrBadVersion
 	}
 	if binary.BigEndian.Uint16(buf[6:8]) != 0 {
-		return Frame{}, 0, ErrBadFlags
+		return Frame{Version: f.Version, Type: f.Type, ID: f.ID}, total, ErrBadFlags
 	}
 	return f, total, nil
 }
 
 // ReadFrame reads exactly one frame from r. The payload is freshly
-// allocated and does not alias any internal buffer.
+// allocated and does not alias any internal buffer. On ErrBadVersion or
+// ErrBadFlags the frame (its length-delimited payload included) has
+// been fully consumed from r and the returned Frame carries the header
+// fields, so a server can reply TError by id and keep reading the
+// connection; any other error leaves the stream unusable.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4 + headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -182,20 +205,33 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		Type:    Type(hdr[5]),
 		ID:      binary.BigEndian.Uint32(hdr[8:12]),
 	}
+	var ferr error
 	if f.Version != Version {
-		return Frame{}, ErrBadVersion
-	}
-	if binary.BigEndian.Uint16(hdr[6:8]) != 0 {
-		return Frame{}, ErrBadFlags
+		ferr = ErrBadVersion
+	} else if binary.BigEndian.Uint16(hdr[6:8]) != 0 {
+		ferr = ErrBadFlags
 	}
 	if n > headerLen {
-		f.Payload = make([]byte, n-headerLen)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			if err == io.EOF {
-				err = io.ErrUnexpectedEOF
+		if ferr != nil {
+			// Drain the payload so the stream resyncs on the next frame.
+			if _, err := io.CopyN(io.Discard, r, int64(n-headerLen)); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return Frame{}, err
 			}
-			return Frame{}, err
+		} else {
+			f.Payload = make([]byte, n-headerLen)
+			if _, err := io.ReadFull(r, f.Payload); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return Frame{}, err
+			}
 		}
+	}
+	if ferr != nil {
+		return Frame{Version: f.Version, Type: f.Type, ID: f.ID}, ferr
 	}
 	return f, nil
 }

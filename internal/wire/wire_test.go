@@ -87,6 +87,45 @@ func TestDecodeFrameErrors(t *testing.T) {
 	}
 }
 
+// TestBadVersionResync checks the rollout guarantee from the package
+// doc: a frame with an unknown version (or nonzero reserved flags) is
+// consumed in full — header fields reported so a TError can be sent by
+// id — and the next frame on the stream decodes normally.
+func TestBadVersionResync(t *testing.T) {
+	bad := AppendFrame(nil, Frame{Type: TInsert, ID: 7, Payload: Insert{Queue: "q", Item: Item{Pri: 1, Value: []byte("xyz")}}.Append(nil)})
+	bad[4] = 9 // future version
+	good := Frame{Type: TStats, ID: 8, Payload: QueueReq{Queue: "q"}.Append(nil)}
+	stream := append(append([]byte{}, bad...), AppendFrame(nil, good)...)
+
+	f, n, err := DecodeFrame(stream)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if n != len(bad) {
+		t.Fatalf("consumed %d bytes, want the whole %d-byte frame", n, len(bad))
+	}
+	if f.Version != 9 || f.ID != 7 {
+		t.Fatalf("header not reported: %+v", f)
+	}
+	if f2, _, err := DecodeFrame(stream[n:]); err != nil || f2.ID != good.ID {
+		t.Fatalf("resync failed: %+v %v", f2, err)
+	}
+
+	// Same via ReadFrame, plus the flags variant.
+	badFlags := AppendFrame(nil, Frame{Type: TDrain, ID: 11, Payload: QueueReq{Queue: "q"}.Append(nil)})
+	badFlags[6] = 1
+	r := bytes.NewReader(append(append(append([]byte{}, bad...), badFlags...), AppendFrame(nil, good)...))
+	if f, err := ReadFrame(r); !errors.Is(err, ErrBadVersion) || f.ID != 7 {
+		t.Fatalf("ReadFrame bad version: %+v %v", f, err)
+	}
+	if f, err := ReadFrame(r); !errors.Is(err, ErrBadFlags) || f.ID != 11 {
+		t.Fatalf("ReadFrame bad flags: %+v %v", f, err)
+	}
+	if f, err := ReadFrame(r); err != nil || f.ID != good.ID {
+		t.Fatalf("ReadFrame after resync: %+v %v", f, err)
+	}
+}
+
 func TestPayloadRoundTrips(t *testing.T) {
 	ins := Insert{Queue: "jobs", Item: Item{Pri: 7, Value: []byte("hello")}}
 	if got, err := DecodeInsert(ins.Append(nil)); err != nil || !reflect.DeepEqual(got, ins) {

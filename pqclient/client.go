@@ -221,6 +221,9 @@ func (c *Client) Insert(ctx context.Context, queue string, pri int, value []byte
 	if pri < 0 {
 		return fmt.Errorf("pqclient: negative priority %d", pri)
 	}
+	if len(value) > wire.MaxValue {
+		return fmt.Errorf("pqclient: value %d bytes exceeds the %d-byte limit", len(value), wire.MaxValue)
+	}
 	for attempt := 0; ; attempt++ {
 		cl := &call{
 			kind:  wire.TInsert,
@@ -250,11 +253,19 @@ func (c *Client) InsertBatch(ctx context.Context, queue string, items []Item) (a
 		return 0, nil
 	}
 	m := wire.InsertBatch{Queue: queue, Items: make([]wire.Item, len(items))}
+	bytes := 2 + len(queue) + 4 // queue prefix + item count
 	for i, it := range items {
 		if it.Pri < 0 {
 			return 0, fmt.Errorf("pqclient: negative priority %d", it.Pri)
 		}
+		if len(it.Value) > wire.MaxValue {
+			return 0, fmt.Errorf("pqclient: item %d: value %d bytes exceeds the %d-byte limit", i, len(it.Value), wire.MaxValue)
+		}
+		bytes += 8 + len(it.Value)
 		m.Items[i] = wire.Item{Pri: uint32(it.Pri), Value: it.Value}
+	}
+	if bytes > wire.MaxPayload {
+		return 0, fmt.Errorf("pqclient: batch encodes to %d bytes, exceeding the %d-byte frame limit; split the batch", bytes, wire.MaxPayload)
 	}
 	cl := &call{kind: wire.TInsertBatch, queue: queue, payload: m.Append(nil), done: make(chan struct{})}
 	if err := c.do(ctx, cl); err != nil {

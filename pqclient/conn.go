@@ -2,6 +2,7 @@ package pqclient
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ type call struct {
 	queue   string
 	item    wire.Item // TInsert only
 	payload []byte    // every other kind
+	solo    bool      // never coalesce (set when resent after a batch TError)
 
 	resp wire.Frame
 	err  error
@@ -157,14 +159,20 @@ func (c *conn) writeLoop() {
 			}
 		}
 		var werr error
-		if cl.kind == wire.TInsert && c.cfg.MaxCoalesce > 1 {
+		if cl.kind == wire.TInsert && !cl.solo && c.cfg.MaxCoalesce > 1 {
 			group := []*call{cl}
+			// Bound the coalesced INSERT_BATCH by encoded payload bytes
+			// as well as item count, so the merged frame never exceeds
+			// what the server's ReadFrame accepts.
+			bytes := 2 + len(cl.queue) + 4 + 8 + len(cl.item.Value)
 		collect:
 			for len(group) < c.cfg.MaxCoalesce {
 				select {
 				case nx := <-c.sendCh:
-					if nx.kind == wire.TInsert && nx.queue == cl.queue {
+					if nx.kind == wire.TInsert && !nx.solo && nx.queue == cl.queue &&
+						bytes+8+len(nx.item.Value) <= wire.MaxPayload {
 						group = append(group, nx)
+						bytes += 8 + len(nx.item.Value)
 					} else {
 						holdover = nx
 						break collect
@@ -174,6 +182,11 @@ func (c *conn) writeLoop() {
 				}
 			}
 			werr = c.writeInserts(bw, group)
+		} else if cl.kind == wire.TInsert {
+			// Un-coalesced insert (solo resend or MaxCoalesce 1): its
+			// payload is still the raw item, so it must be encoded here,
+			// not written through the pre-encoded path.
+			werr = c.writeInserts(bw, []*call{cl})
 		} else {
 			werr = c.writeOne(bw, cl)
 		}
@@ -187,29 +200,71 @@ func (c *conn) writeLoop() {
 	}
 }
 
+// oversizedErr rejects a request whose encoded payload the server's
+// ReadFrame would refuse; failing it client-side keeps the connection
+// (and every other pipelined request on it) alive.
+func oversizedErr(n int) error {
+	return fmt.Errorf("pqclient: request payload %d bytes exceeds the %d-byte frame limit", n, wire.MaxPayload)
+}
+
 // writeInserts sends a group of same-queue inserts as one frame.
 func (c *conn) writeInserts(bw *bufio.Writer, group []*call) error {
+	var typ wire.Type
+	var payload []byte
+	if len(group) == 1 {
+		typ = wire.TInsert
+		payload = wire.Insert{Queue: group[0].queue, Item: group[0].item}.Append(nil)
+	} else {
+		typ = wire.TInsertBatch
+		m := wire.InsertBatch{Queue: group[0].queue, Items: make([]wire.Item, len(group))}
+		for i, g := range group {
+			m.Items[i] = g.item
+		}
+		payload = m.Append(nil)
+	}
+	if len(payload) > wire.MaxPayload {
+		err := oversizedErr(len(payload))
+		for _, g := range group {
+			g.finish(wire.Frame{}, err)
+		}
+		return nil
+	}
 	id, ok := c.register(group)
 	if !ok {
 		return c.closeErr()
 	}
-	if len(group) == 1 {
-		m := wire.Insert{Queue: group[0].queue, Item: group[0].item}
-		return wire.WriteFrame(bw, wire.Frame{Type: wire.TInsert, ID: id, Payload: m.Append(nil)})
-	}
-	m := wire.InsertBatch{Queue: group[0].queue, Items: make([]wire.Item, len(group))}
-	for i, g := range group {
-		m.Items[i] = g.item
-	}
-	return wire.WriteFrame(bw, wire.Frame{Type: wire.TInsertBatch, ID: id, Payload: m.Append(nil)})
+	return wire.WriteFrame(bw, wire.Frame{Type: typ, ID: id, Payload: payload})
 }
 
 func (c *conn) writeOne(bw *bufio.Writer, cl *call) error {
+	if len(cl.payload) > wire.MaxPayload {
+		cl.finish(wire.Frame{}, oversizedErr(len(cl.payload)))
+		return nil
+	}
 	id, ok := c.register([]*call{cl})
 	if !ok {
 		return c.closeErr()
 	}
 	return wire.WriteFrame(bw, wire.Frame{Type: cl.kind, ID: id, Payload: cl.payload})
+}
+
+// resendSolo re-enqueues calls marked solo so they are sent as
+// individual frames. Runs in its own goroutine: readLoop must never
+// block on a full send queue (requests ahead of it could be waiting on
+// responses this readLoop would deliver). solo calls are never
+// re-coalesced, so a second TError resolves each call individually and
+// the retry cannot loop.
+func (c *conn) resendSolo(calls []*call) {
+	go func() {
+		for _, cl := range calls {
+			cl.solo = true
+			select {
+			case c.sendCh <- cl:
+			case <-c.closed:
+				cl.finish(wire.Frame{}, c.closeErr())
+			}
+		}
+	}()
 }
 
 // readLoop matches responses to pending calls.
@@ -258,6 +313,16 @@ func (c *conn) deliver(p pending, f wire.Frame) {
 				cl.finish(f, retry)
 			}
 		case wire.TError:
+			if len(p.calls) > 1 {
+				// The server rejects a whole INSERT_BATCH when any
+				// member is bad (e.g. one caller's out-of-range
+				// priority). These calls were coalesced from unrelated
+				// Inserts, so don't fate-share the error: resend each
+				// member as its own un-coalesced frame and let the
+				// server judge them individually.
+				c.resendSolo(p.calls)
+				return
+			}
 			em, _ := wire.DecodeErrorMsg(f.Payload)
 			for _, cl := range p.calls {
 				cl.finish(f, &ServerError{Msg: em.Msg})
