@@ -51,6 +51,7 @@ func run(args []string) error {
 		alg        = fs.String("alg", "FunnelTree", "algorithm for -trace")
 		procs      = fs.Int("procs", 256, "processors for -contention, -metrics, -json and -trace")
 		pris       = fs.Int("pris", 16, "priorities for -contention, -metrics, -json and -trace")
+		batch      = fs.Int("batch", 0, "also measure -metrics/-json runs with this many operations per batched queue access (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +82,7 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
 			}
 		}
-		return runBenchSuite(*jsonPath, *procs, *pris, *scale, *metrics, *doPlot, progress)
+		return runBenchSuite(*jsonPath, *procs, *pris, *scale, *batch, *metrics, *doPlot, progress)
 	}
 	if *chaos {
 		progress := func(msg string) {
@@ -170,8 +171,8 @@ func renderPlot(w io.Writer, pts []harness.Point) {
 // runBenchSuite runs the standard workload for every algorithm, writes
 // the machine-readable document when jsonPath is set, and prints the
 // human-readable metrics report when showMetrics is set.
-func runBenchSuite(jsonPath string, procs, pris int, scale float64, showMetrics, doPlot bool, progress func(string)) error {
-	bf, results, err := harness.RunBenchSuite(procs, pris, scale, progress)
+func runBenchSuite(jsonPath string, procs, pris int, scale float64, batch int, showMetrics, doPlot bool, progress func(string)) error {
+	bf, results, err := harness.RunBenchSuiteBatch(procs, pris, scale, batch, progress)
 	if err != nil {
 		return err
 	}
@@ -193,9 +194,15 @@ func runBenchSuite(jsonPath string, procs, pris int, scale float64, showMetrics,
 	fmt.Printf("== internals metrics: standard workload, %d procs, %d priorities, scale %g ==\n\n", procs, pris, scale)
 	fmt.Printf("%-14s %12s %10s %10s %10s %10s %10s %12s %12s\n",
 		"algorithm", "ops/kcycle", "ins p50", "ins p99", "del p50", "del p99", "failed", "mem ops", "stall cyc")
+	runName := func(r harness.BenchRun) string {
+		if r.Batch > 1 {
+			return fmt.Sprintf("%s(b%d)", r.Algorithm, r.Batch)
+		}
+		return r.Algorithm
+	}
 	for _, r := range bf.Runs {
 		fmt.Printf("%-14s %12.3f %10.0f %10.0f %10.0f %10.0f %10d %12d %12d\n",
-			r.Algorithm, r.ThroughputOpsPerKCycle,
+			runName(r), r.ThroughputOpsPerKCycle,
 			r.Insert.P50, r.Insert.P99, r.Delete.P50, r.Delete.P99,
 			r.FailedDeletes, r.Sim.MemOps, r.Sim.StallCycles)
 	}
@@ -204,7 +211,7 @@ func runBenchSuite(jsonPath string, procs, pris int, scale float64, showMetrics,
 	algs := make([]string, len(bf.Runs))
 	internals := make([]map[string]float64, len(bf.Runs))
 	for i, r := range bf.Runs {
-		algs[i] = r.Algorithm
+		algs[i] = runName(r)
 		internals[i] = r.Internals
 	}
 	plot.MetricsTable(os.Stdout, algs, internals)

@@ -13,8 +13,10 @@ import (
 // (Section 3.2).
 type binLike[V any] interface {
 	insert(e V)
+	insertN(es []V)
 	empty() bool
 	delete() (V, bool)
+	deleteN(k int) []V
 }
 
 // bin is the paper's Figure-1 bag: a locked slice plus an atomic size so
@@ -34,8 +36,42 @@ func (b *bin[V]) insert(e V) {
 	b.lock.Release(n)
 }
 
+// insertN adds every element of es under one lock hold.
+func (b *bin[V]) insertN(es []V) {
+	if len(es) == 0 {
+		return
+	}
+	n := b.lock.Acquire()
+	b.items = append(b.items, es...)
+	b.size.Store(int64(len(b.items)))
+	b.lock.Release(n)
+}
+
 // empty reports whether the bin currently looks empty (one atomic read).
 func (b *bin[V]) empty() bool { return b.size.Load() == 0 }
+
+// deleteN removes up to k elements under one lock hold, in the order k
+// sequential deletes would have returned them (newest first).
+func (b *bin[V]) deleteN(k int) []V {
+	n := b.lock.Acquire()
+	avail := k
+	if avail > len(b.items) {
+		avail = len(b.items)
+	}
+	out := make([]V, avail)
+	var zero V
+	tail := b.items[len(b.items)-avail:]
+	for i := 0; i < avail; i++ {
+		out[i] = tail[avail-1-i]
+	}
+	for i := range tail {
+		tail[i] = zero // release references for GC
+	}
+	b.items = b.items[:len(b.items)-avail]
+	b.size.Store(int64(len(b.items)))
+	b.lock.Release(n)
+	return out
+}
 
 // delete removes and returns an unspecified element, or ok=false if the
 // bin is empty.
@@ -72,7 +108,39 @@ func (b *fifoBin[V]) insert(e V) {
 	b.mu.Unlock()
 }
 
+func (b *fifoBin[V]) insertN(es []V) {
+	if len(es) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.items = append(b.items, es...)
+	b.size.Store(int64(len(b.items) - b.head))
+	b.mu.Unlock()
+}
+
 func (b *fifoBin[V]) empty() bool { return b.size.Load() == 0 }
+
+func (b *fifoBin[V]) deleteN(k int) []V {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	avail := len(b.items) - b.head
+	if avail > k {
+		avail = k
+	}
+	out := make([]V, avail)
+	copy(out, b.items[b.head:b.head+avail])
+	var zero V
+	for i := b.head; i < b.head+avail; i++ {
+		b.items[i] = zero
+	}
+	b.head += avail
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	b.size.Store(int64(len(b.items) - b.head))
+	return out
+}
 
 func (b *fifoBin[V]) delete() (V, bool) {
 	b.mu.Lock()

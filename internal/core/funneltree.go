@@ -1,6 +1,10 @@
 package core
 
-import "pq/internal/funnel"
+import (
+	"sort"
+
+	"pq/internal/funnel"
+)
 
 // DefaultFunnelCutoff is the number of tree levels (from the root) whose
 // counters use combining funnels in FunnelTree, as in the paper ("only
@@ -8,16 +12,22 @@ import "pq/internal/funnel"
 // far less traffic and use plain atomic counters.
 const DefaultFunnelCutoff = 4
 
-// treeCounter abstracts the two counter kinds FunnelTree mixes.
+// treeCounter abstracts the two counter kinds FunnelTree mixes. AddN and
+// SubN are the multi-unit batch forms: one funnel traversal or RMW for n
+// units, with SubN bounded below by zero like BFaD.
 type treeCounter interface {
 	FaI() int64
 	BFaD() int64
+	AddN(n int64) int64
+	SubN(n int64) int64
 }
 
 type funnelTreeCounter struct{ c *funnel.Counter }
 
-func (f funnelTreeCounter) FaI() int64  { return f.c.FaI() }
-func (f funnelTreeCounter) BFaD() int64 { return f.c.FaD() }
+func (f funnelTreeCounter) FaI() int64         { return f.c.FaI() }
+func (f funnelTreeCounter) BFaD() int64        { return f.c.FaD() }
+func (f funnelTreeCounter) AddN(n int64) int64 { return f.c.AddN(n) }
+func (f funnelTreeCounter) SubN(n int64) int64 { return f.c.SubN(n) }
 
 // funnelTree is the paper's second new algorithm: the counter tree of
 // SimpleTree with combining-funnel counters in the hottest (top) levels
@@ -91,4 +101,75 @@ func (q *funnelTree[V]) DeleteMin() (V, bool) {
 		}
 	}
 	return q.bins[n-q.nleaves].Pop()
+}
+
+// InsertBatch mirrors simpleTree.InsertBatch: bins fill first, then
+// aggregated counter increments apply children-before-parents — each one
+// a single AddN funnel traversal instead of len(run) FaI traversals.
+func (q *funnelTree[V]) InsertBatch(items []Item[V]) {
+	runs := groupByPri(items, q.npri)
+	if len(runs) == 0 {
+		return
+	}
+	incs := make(map[int]int64)
+	for _, run := range runs {
+		q.bins[run.pri].PushN(run.vals)
+		n := q.nleaves + run.pri
+		for n > 1 {
+			parent := n / 2
+			if n == 2*parent {
+				incs[parent] += int64(len(run.vals))
+			}
+			n = parent
+		}
+	}
+	nodes := make([]int, 0, len(incs))
+	for n := range incs {
+		nodes = append(nodes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nodes)))
+	for _, n := range nodes {
+		q.counters[n].AddN(incs[n])
+	}
+}
+
+// DeleteMinBatch descends once with multi-unit bounded decrements, like
+// simpleTree's. A left subtree here may under-deliver its reservation —
+// elimination can leave counter ghosts, the same relaxation behind this
+// queue's occasional spurious-empty DeleteMin — so the shortfall is
+// retried on the right best-effort and the books rebalance exactly as
+// they do for a failed single delete.
+func (q *funnelTree[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Item[V], 0, k)
+	q.takeBatch(1, k, &out)
+	return out
+}
+
+func (q *funnelTree[V]) takeBatch(n, want int, out *[]Item[V]) int {
+	if want <= 0 {
+		return 0
+	}
+	if n >= q.nleaves {
+		pri := n - q.nleaves
+		vals := q.bins[pri].PopN(want)
+		for _, v := range vals {
+			*out = append(*out, Item[V]{Pri: pri, Val: v})
+		}
+		return len(vals)
+	}
+	left := int64(want)
+	if prev := q.counters[n].SubN(left); prev < left {
+		left = prev
+	}
+	got := 0
+	if left > 0 {
+		got = q.takeBatch(2*n, int(left), out)
+	}
+	if got < want {
+		got += q.takeBatch(2*n+1, want-got, out)
+	}
+	return got
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"pq/internal/refpq"
+)
+
+// runDifferentialTape decodes a fuzz byte tape into a mixed
+// single/batch operation stream and plays it through every algorithm
+// against the reference oracle. Byte 0 picks the priority range; each
+// following byte is one operation: the low two bits select the kind
+// (single insert, batch insert, single delete, batch delete) and the
+// high bits the priority or batch size. The stack-binned queues must
+// match the oracle value-for-value; the heaps must match its priorities
+// (sequentially they always pop the true minimum); the skip list — whose
+// delete bin serves one stale priority level — must match ok-results and
+// conserve values.
+func runDifferentialTape(t *testing.T, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	npri := int(data[0]%16) + 1
+	tape := data[1:]
+	for _, alg := range Algorithms {
+		exact := false
+		for _, e := range exactSequentialMatch {
+			if alg == e {
+				exact = true
+			}
+		}
+		q, err := New[uint64](alg, Config{Priorities: npri, Concurrency: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bq, ok := q.(BatchQueue[uint64])
+		if !ok {
+			t.Fatalf("%s does not implement BatchQueue", alg)
+		}
+		ref := refpq.New(npri)
+		outstanding := map[uint64]bool{}
+		seq := 0
+		mkVal := func(pri int) uint64 {
+			v := uint64(seq)<<8 | uint64(pri)
+			seq++
+			outstanding[v] = true
+			return v
+		}
+		check := func(i int, it Item[uint64], want refpq.Item) {
+			t.Helper()
+			if !outstanding[it.Val] {
+				t.Fatalf("%s op %d: returned %+v which is not outstanding", alg, i, it)
+			}
+			delete(outstanding, it.Val)
+			if it.Pri != int(it.Val&0xff) {
+				t.Fatalf("%s op %d: item %+v reports wrong priority", alg, i, it)
+			}
+			if exact && (it.Val != want.Val || it.Pri != want.Pri) {
+				t.Fatalf("%s op %d: got %+v, want %+v", alg, i, it, want)
+			}
+			if alg != SkipList && it.Pri != want.Pri {
+				t.Fatalf("%s op %d: priority %d, want %d", alg, i, it.Pri, want.Pri)
+			}
+		}
+		for i, b := range tape {
+			switch b & 3 {
+			case 0: // single insert
+				pri := int(b>>2) % npri
+				v := mkVal(pri)
+				q.Insert(pri, v)
+				ref.Insert(pri, v)
+			case 1: // batch insert
+				n := int(b>>2)%8 + 1
+				items := make([]Item[uint64], n)
+				refItems := make([]refpq.Item, n)
+				for j := range items {
+					pri := (int(b>>2) + j*3) % npri
+					v := mkVal(pri)
+					items[j] = Item[uint64]{Pri: pri, Val: v}
+					refItems[j] = refpq.Item{Pri: pri, Val: v}
+				}
+				bq.InsertBatch(items)
+				ref.InsertBatch(refItems)
+			case 2: // single delete
+				gv, gok := q.DeleteMin()
+				wv, wok := ref.DeleteMin()
+				if gok != wok {
+					t.Fatalf("%s op %d: ok %v, want %v", alg, i, gok, wok)
+				}
+				if gok {
+					check(i, Item[uint64]{Pri: int(gv & 0xff), Val: gv}, refpq.Item{Pri: int(wv & 0xff), Val: wv})
+				}
+			case 3: // batch delete
+				k := int(b>>2)%8 + 1
+				got := bq.DeleteMinBatch(k)
+				want := ref.DeleteMinBatch(k)
+				if len(got) != len(want) {
+					t.Fatalf("%s op %d: batch returned %d items, want %d", alg, i, len(got), len(want))
+				}
+				for j := range got {
+					check(i, got[j], want[j])
+				}
+			}
+		}
+		got := bq.DeleteMinBatch(ref.Len() + 1)
+		want := ref.DeleteMinBatch(ref.Len() + 1)
+		if len(got) != len(want) {
+			t.Fatalf("%s drain: %d items, want %d", alg, len(got), len(want))
+		}
+		for j := range got {
+			check(len(tape), got[j], want[j])
+		}
+		if len(outstanding) != 0 {
+			t.Fatalf("%s: %d values lost", alg, len(outstanding))
+		}
+	}
+}
+
+// FuzzDifferential feeds randomized operation tapes through every
+// algorithm against the refpq oracle; see runDifferentialTape for the
+// encoding. The seed corpus lives in testdata/fuzz/FuzzDifferential and
+// runs as regular unit tests when not fuzzing.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{7, 0, 4, 8, 2, 1, 3, 2, 3})
+	f.Add([]byte{3, 0, 0, 0, 3, 3, 3, 2, 2, 2})
+	f.Add([]byte{15, 1, 5, 9, 13, 3, 7, 11, 15, 2, 0, 3})
+	f.Add([]byte{0, 29, 3})
+	f.Add([]byte{11, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(runDifferentialTape)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -96,20 +97,33 @@ func (q *hunt[V]) Insert(pri int, v V) {
 	mypid := q.opID.Add(1)<<8 | huntTagPid // unique per operation
 
 	tok := q.lock.Acquire()
+	i := q.placeLocked(pri, v, mypid)
+	q.lock.Release(tok)
+	q.bubbleUp(i, pri, mypid)
+}
+
+// placeLocked claims the next heap slot and writes the item into it under
+// its node lock, tagged with mypid so the bubble-up can recognize it.
+// Called with the size lock held; the item is fully placed (countable by
+// deleters) when this returns, even though it has not bubbled yet.
+func (q *hunt[V]) placeLocked(pri int, v V, mypid uint64) uint64 {
 	q.size++
 	i := bitRevPos(q.size)
 	q.grow(i)
 	ni := q.node(i)
 	ni.mu.Lock()
-	q.lock.Release(tok)
-
 	tag := mypid
 	if i == 1 {
 		tag = huntAvail
 	}
 	ni.pri, ni.val, ni.tag = pri, v, tag
 	ni.mu.Unlock()
+	return i
+}
 
+// bubbleUp floats the item tagged mypid from slot i toward the root,
+// hand-over-hand with parent-then-child lock order.
+func (q *hunt[V]) bubbleUp(i uint64, pri int, mypid uint64) {
 	for i > 1 {
 		parent := i / 2
 		np, ni := q.node(parent), q.node(i)
@@ -159,11 +173,21 @@ func (q *hunt[V]) Insert(pri int, v V) {
 }
 
 func (q *hunt[V]) DeleteMin() (V, bool) {
-	var zero V
 	tok := q.lock.Acquire()
+	_, v, ok := q.popUnlocking(func() { q.lock.Release(tok) })
+	return v, ok
+}
+
+// popUnlocking removes the minimum, invoking release at the protocol's
+// early-release point (once the root and last nodes are locked) so the
+// sift-down runs without the size lock. Batch deletes pass a no-op and
+// keep the size lock across pops, so each pop sees a fully settled root
+// and the batch comes out in true min order at quiescence.
+func (q *hunt[V]) popUnlocking(release func()) (int, V, bool) {
+	var zero V
 	if q.size == 0 {
-		q.lock.Release(tok)
-		return zero, false
+		release()
+		return 0, zero, false
 	}
 	n := q.size
 	q.size--
@@ -171,16 +195,16 @@ func (q *hunt[V]) DeleteMin() (V, bool) {
 	n1 := q.node(1)
 	n1.mu.Lock()
 	if last == 1 {
-		q.lock.Release(tok)
-		out := n1.val
+		release()
+		outP, out := n1.pri, n1.val
 		n1.tag = huntEmpty
 		n1.val = zero
 		n1.mu.Unlock()
-		return out, true
+		return outP, out, true
 	}
 	nl := q.node(last)
 	nl.mu.Lock()
-	q.lock.Release(tok)
+	release()
 
 	lp, lv := nl.pri, nl.val
 	nl.tag = huntEmpty
@@ -188,12 +212,20 @@ func (q *hunt[V]) DeleteMin() (V, bool) {
 	nl.mu.Unlock()
 
 	if n1.tag == huntEmpty {
+		// The root's item is mid-flight in someone's bubble-up: adopt the
+		// last item instead (the protocol's adoption simplification).
 		n1.mu.Unlock()
-		return lv, true
+		return lp, lv, true
 	}
-	out := n1.val
+	outP, out := n1.pri, n1.val
 	n1.pri, n1.val, n1.tag = lp, lv, huntAvail
+	q.siftDown(n1)
+	return outP, out, true
+}
 
+// siftDown restores heap order from the root, hand-over-hand with
+// parent-then-child lock order; called with the root's lock held.
+func (q *hunt[V]) siftDown(n1 *huntNode[V]) {
 	i := uint64(1)
 	cur := n1
 	for {
@@ -250,5 +282,54 @@ func (q *hunt[V]) DeleteMin() (V, bool) {
 		i, cur = childIdx, child
 	}
 	cur.mu.Unlock()
-	return out, true
+}
+
+// InsertBatch places the whole batch under one size-lock hold (sorted by
+// priority, so earlier placements — which land at shallower or equal
+// levels — never need to pass later ones), then runs the bubble-ups after
+// releasing it, in placement order: each item's upward path holds only
+// already-settled batch items, so the bubbles are the same races the
+// single-item protocol already resolves.
+func (q *hunt[V]) InsertBatch(items []Item[V]) {
+	for _, it := range items {
+		checkPri(it.Pri, q.npri)
+	}
+	if len(items) == 0 {
+		return
+	}
+	sorted := make([]Item[V], len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Pri < sorted[b].Pri })
+
+	pids := make([]uint64, len(sorted))
+	slots := make([]uint64, len(sorted))
+	tok := q.lock.Acquire()
+	for j, it := range sorted {
+		pids[j] = q.opID.Add(1)<<8 | huntTagPid
+		slots[j] = q.placeLocked(it.Pri, it.Val, pids[j])
+	}
+	q.lock.Release(tok)
+	for j, it := range sorted {
+		q.bubbleUp(slots[j], it.Pri, pids[j])
+	}
+}
+
+// DeleteMinBatch holds the size lock across up to k pops — sift-downs
+// included — so within the batch every pop removes the true current
+// minimum instead of racing the previous pop's sift.
+func (q *hunt[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Item[V], 0, k)
+	tok := q.lock.Acquire()
+	for len(out) < k {
+		pri, v, ok := q.popUnlocking(func() {})
+		if !ok {
+			break
+		}
+		out = append(out, Item[V]{Pri: pri, Val: v})
+	}
+	q.lock.Release(tok)
+	return out
 }

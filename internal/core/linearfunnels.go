@@ -64,3 +64,32 @@ func (q *linearFunnels[V]) DeleteMin() (V, bool) {
 	var zero V
 	return zero, false
 }
+
+// InsertBatch pushes each priority's run with one central stack
+// application instead of one funnel traversal per item.
+func (q *linearFunnels[V]) InsertBatch(items []Item[V]) {
+	for _, run := range groupByPri(items, len(q.bins)) {
+		q.bins[run.pri].PushN(run.vals)
+	}
+}
+
+// DeleteMinBatch runs the scan once, draining each non-empty bin with one
+// central application until k items are gathered.
+func (q *linearFunnels[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	var out []Item[V]
+	for i, b := range q.bins {
+		if len(out) == k {
+			break
+		}
+		if b.Empty() {
+			continue
+		}
+		for _, v := range b.PopN(k - len(out)) {
+			out = append(out, Item[V]{Pri: i, Val: v})
+		}
+	}
+	return out
+}

@@ -45,3 +45,32 @@ func (q *simpleLinear[V]) DeleteMin() (V, bool) {
 	var zero V
 	return zero, false
 }
+
+// InsertBatch fills each priority's bin with one lock hold per distinct
+// priority in the batch.
+func (q *simpleLinear[V]) InsertBatch(items []Item[V]) {
+	for _, run := range groupByPri(items, len(q.bins)) {
+		q.bins[run.pri].insertN(run.vals)
+	}
+}
+
+// DeleteMinBatch runs the delete-min scan once, draining each non-empty
+// bin it reaches under a single lock hold until k items are gathered.
+func (q *simpleLinear[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	var out []Item[V]
+	for i := range q.bins {
+		if len(out) == k {
+			break
+		}
+		if q.bins[i].empty() {
+			continue
+		}
+		for _, v := range q.bins[i].deleteN(k - len(out)) {
+			out = append(out, Item[V]{Pri: i, Val: v})
+		}
+	}
+	return out
+}

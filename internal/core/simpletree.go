@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // atomicCounter implements the paper's shared counter (fetch-and-increment
 // and bounded fetch-and-decrement) on a hardware atomic word — the
@@ -20,6 +23,28 @@ func (c *atomicCounter) BFaD() int64 {
 			return old
 		}
 		if c.v.CompareAndSwap(old, old-1) {
+			return old
+		}
+	}
+}
+
+// AddN is an n-unit fetch-and-increment: one RMW for the whole batch.
+func (c *atomicCounter) AddN(n int64) int64 { return c.v.Add(n) - n }
+
+// SubN is the n-unit bounded fetch-and-decrement: it subtracts
+// min(n, prev) — never undershooting the zero bound — and returns prev,
+// exactly as n sequential BFaD calls would net out.
+func (c *atomicCounter) SubN(n int64) int64 {
+	for {
+		old := c.v.Load()
+		take := n
+		if take > old {
+			take = old
+		}
+		if take <= 0 {
+			return old
+		}
+		if c.v.CompareAndSwap(old, old-take) {
 			return old
 		}
 	}
@@ -72,4 +97,80 @@ func (q *simpleTree[V]) DeleteMin() (V, bool) {
 		}
 	}
 	return q.bins[n-q.nleaves].delete()
+}
+
+// InsertBatch fills the bins first (counters must never promise items the
+// bins do not yet hold), then applies the aggregated counter increments —
+// one AddN per touched node instead of one FaI per item — children before
+// parents (descending heap index), preserving the bottom-up order of the
+// single-item insert for every item's path.
+func (q *simpleTree[V]) InsertBatch(items []Item[V]) {
+	runs := groupByPri(items, q.npri)
+	if len(runs) == 0 {
+		return
+	}
+	incs := make(map[int]int64)
+	for _, run := range runs {
+		q.bins[run.pri].insertN(run.vals)
+		n := q.nleaves + run.pri
+		for n > 1 {
+			parent := n / 2
+			if n == 2*parent {
+				incs[parent] += int64(len(run.vals))
+			}
+			n = parent
+		}
+	}
+	nodes := make([]int, 0, len(incs))
+	for n := range incs {
+		nodes = append(nodes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nodes)))
+	for _, n := range nodes {
+		q.counters[n].AddN(incs[n])
+	}
+}
+
+// DeleteMinBatch descends the tree once, reserving whole sub-batches with
+// multi-unit bounded decrements instead of one BFaD per item.
+func (q *simpleTree[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Item[V], 0, k)
+	q.takeBatch(1, k, &out)
+	return out
+}
+
+// takeBatch pops up to want items from the subtree rooted at heap node n,
+// appending to out and returning how many it got. At each internal node
+// one SubN reserves min(want, counter) items from the left subtree — the
+// counter never overcounts left-subtree items (bins fill before counters
+// rise), so the reservation is sound — and the remainder is sought on the
+// right best-effort, where deeper counters bound the claim, mirroring how
+// sequential deletes walk right on a zero counter.
+func (q *simpleTree[V]) takeBatch(n, want int, out *[]Item[V]) int {
+	if want <= 0 {
+		return 0
+	}
+	if n >= q.nleaves {
+		pri := n - q.nleaves
+		vals := q.bins[pri].deleteN(want)
+		for _, v := range vals {
+			*out = append(*out, Item[V]{Pri: pri, Val: v})
+		}
+		return len(vals)
+	}
+	left := int64(want)
+	if prev := q.counters[n].SubN(left); prev < left {
+		left = prev
+	}
+	got := 0
+	if left > 0 {
+		got = q.takeBatch(2*n, int(left), out)
+	}
+	if got < want {
+		got += q.takeBatch(2*n+1, want-got, out)
+	}
+	return got
 }

@@ -22,6 +22,12 @@ func (q *singleLock[V]) NumPriorities() int { return q.npri }
 func (q *singleLock[V]) Insert(pri int, v V) {
 	checkPri(pri, q.npri)
 	n := q.lock.Acquire()
+	q.insertLocked(pri, v)
+	q.lock.Release(n)
+}
+
+// insertLocked sifts v into the heap; the lock must be held.
+func (q *singleLock[V]) insertLocked(pri int, v V) {
 	q.pris = append(q.pris, pri)
 	q.vals = append(q.vals, v)
 	i := len(q.pris) - 1
@@ -34,20 +40,24 @@ func (q *singleLock[V]) Insert(pri int, v V) {
 		i = parent
 	}
 	q.pris[i], q.vals[i] = pri, v
-	q.lock.Release(n)
 }
 
 func (q *singleLock[V]) DeleteMin() (V, bool) {
 	n := q.lock.Acquire()
+	_, v, ok := q.deleteMinLocked()
+	q.lock.Release(n)
+	return v, ok
+}
+
+// deleteMinLocked pops the heap minimum; the lock must be held.
+func (q *singleLock[V]) deleteMinLocked() (int, V, bool) {
+	var zero V
 	if len(q.pris) == 0 {
-		q.lock.Release(n)
-		var zero V
-		return zero, false
+		return 0, zero, false
 	}
-	out := q.vals[0]
+	outPri, out := q.pris[0], q.vals[0]
 	last := len(q.pris) - 1
 	lp, lv := q.pris[last], q.vals[last]
-	var zero V
 	q.vals[last] = zero
 	q.pris, q.vals = q.pris[:last], q.vals[:last]
 	if last > 0 {
@@ -69,6 +79,38 @@ func (q *singleLock[V]) DeleteMin() (V, bool) {
 		}
 		q.pris[i], q.vals[i] = lp, lv
 	}
+	return outPri, out, true
+}
+
+// InsertBatch inserts the whole batch under one lock acquisition.
+func (q *singleLock[V]) InsertBatch(items []Item[V]) {
+	for _, it := range items {
+		checkPri(it.Pri, q.npri)
+	}
+	if len(items) == 0 {
+		return
+	}
+	n := q.lock.Acquire()
+	for _, it := range items {
+		q.insertLocked(it.Pri, it.Val)
+	}
 	q.lock.Release(n)
-	return out, true
+}
+
+// DeleteMinBatch pops up to k minima under one lock acquisition.
+func (q *singleLock[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Item[V], 0, k)
+	n := q.lock.Acquire()
+	for len(out) < k {
+		pri, v, ok := q.deleteMinLocked()
+		if !ok {
+			break
+		}
+		out = append(out, Item[V]{Pri: pri, Val: v})
+	}
+	q.lock.Release(n)
+	return out
 }

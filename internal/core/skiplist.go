@@ -69,9 +69,24 @@ func (q *skipList[V]) Insert(pri int, v V) {
 	checkPri(pri, q.npri)
 	l := &q.links[pri]
 	l.bin.insert(v)
+	q.ensureThreaded(pri)
+}
+
+// ensureThreaded links pri's node into the skip list if no one has yet.
+func (q *skipList[V]) ensureThreaded(pri int) {
+	l := &q.links[pri]
 	if l.state.Load() == slUnthreaded && l.state.CompareAndSwap(slUnthreaded, slThreading) {
 		q.thread(pri)
 		l.state.Store(slThreaded)
+	}
+}
+
+// InsertBatch fills each distinct priority's bin under one bin lock hold
+// and threads its link once, instead of one lock round trip per item.
+func (q *skipList[V]) InsertBatch(items []Item[V]) {
+	for _, run := range groupByPri(items, q.npri) {
+		q.links[run.pri].bin.insertN(run.vals)
+		q.ensureThreaded(run.pri)
 	}
 }
 
@@ -232,4 +247,61 @@ func (q *skipList[V]) DeleteMin() (V, bool) {
 		// delete bin is not yet published).
 		runtime.Gosched()
 	}
+}
+
+// DeleteMinBatch drains the delete bin with one lock hold per refill
+// instead of one per item: the delete-bin pointer is the resumable cursor
+// — each pass drains what the current bin holds, and the refill protocol
+// advances it exactly as for single deletes. A short batch is returned as
+// soon as the refill path is contended, rather than spinning while
+// holding items.
+func (q *skipList[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	var out []Item[V]
+	for len(out) < k {
+		db := q.delBin.Load()
+		if db != 0 {
+			vals := q.links[db-1].bin.deleteN(k - len(out))
+			for _, v := range vals {
+				out = append(out, Item[V]{Pri: int(db - 1), Val: v})
+			}
+			if len(out) == k {
+				break
+			}
+		}
+		if q.delMu.TryLock() {
+			// Same re-validation as DeleteMin: moving the delete bin away
+			// from a non-empty bin would strand its items.
+			if cur := q.delBin.Load(); cur != db || (cur != 0 && !q.links[cur-1].bin.empty()) {
+				q.delMu.Unlock()
+				continue
+			}
+			first := q.headFwd[0].Load()
+			if first == 0 {
+				q.delMu.Unlock()
+				break // nothing threaded and the delete bin is empty
+			}
+			key := int(first - 1)
+			if !q.links[key].state.CompareAndSwap(slThreaded, slUnlinking) {
+				q.delMu.Unlock()
+				if len(out) > 0 {
+					break
+				}
+				runtime.Gosched()
+				continue
+			}
+			q.unthread(key)
+			q.delBin.Store(int32(key) + 1)
+			q.links[key].state.Store(slUnthreaded)
+			q.delMu.Unlock()
+			continue
+		}
+		if len(out) > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	return out
 }

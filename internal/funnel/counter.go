@@ -91,6 +91,32 @@ func (c *Counter) Add(delta int64) int64 {
 	return c.main.Add(delta) - delta
 }
 
+// AddN performs a multi-unit fetch-and-increment of n >= 1 as a single
+// funnel operation: one traversal, one central RMW for the whole batch.
+// It returns the previous value prev; with an upper bound U the counter
+// gained min(n, U-prev) — the prefix that fits, exactly as n sequential
+// BFaI calls would have back to back. Same-direction operations still
+// combine in the funnel; reversing trees do not eliminate against
+// multi-unit operations (there is no exact pairing) and are applied
+// centrally on their behalf instead.
+func (c *Counter) AddN(n int64) int64 {
+	if n < 1 {
+		panic("funnel: AddN requires n >= 1")
+	}
+	return c.op(n)
+}
+
+// SubN is the multi-unit bounded fetch-and-decrement: it returns the
+// previous value prev, having subtracted min(n, prev-L) for lower bound
+// L — the counter never undershoots the bound, exactly as n sequential
+// FaD calls would behave back to back.
+func (c *Counter) SubN(n int64) int64 {
+	if n < 1 {
+		panic("funnel: SubN requires n >= 1")
+	}
+	return c.op(-n)
+}
+
 func (c *Counter) op(s int64) int64 {
 	my := c.core.begin(s, struct{}{})
 	mySum := s
@@ -123,6 +149,33 @@ func (c *Counter) op(s int64) int64 {
 			}
 			q.result.Store(encodeResult(true, false, encCtr(qVal)))
 			return c.distribute(my, s, true, myVal)
+
+		case outIncompatible:
+			// We captured a reversing tree q that cannot pair off against
+			// ours (a multi-unit member on either side). Apply q centrally
+			// on its behalf — clamped by its own direction — hand it its
+			// result, and resume our own protocol at the same layer.
+			qSum := q.sum.Load()
+			for {
+				val := c.main.Load()
+				nv := val + qSum
+				if c.bounded {
+					if qSum < 0 && nv < c.lower {
+						nv = c.lower
+					}
+					if qSum > 0 && nv > c.upper {
+						nv = c.upper
+					}
+				}
+				if c.main.CompareAndSwap(val, nv) {
+					c.core.stats.central.Add(1)
+					q.result.Store(encodeResult(false, false, encCtr(val)))
+					break
+				}
+				c.core.stats.centralRetry.Add(1)
+				runtime.Gosched()
+			}
+			my.location.Store(locCode(d))
 
 		case outExit:
 			if !my.location.CompareAndSwap(locCode(d), 0) {

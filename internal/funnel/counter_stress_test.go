@@ -97,6 +97,170 @@ func TestCounterBoundedStress(t *testing.T) {
 	}
 }
 
+// TestCounterMultiUnitLowerBoundStress mixes multi-unit AddN/SubN with
+// unit FaI/FaD against a lower bound. Multi-unit trees cannot eliminate
+// (only all-unit trees pair off exactly), so mixed-sign collisions here
+// drive the incompatible-capture path: the capturer applies the captured
+// tree centrally on its behalf. The value must never undershoot the
+// bound and conservation must hold at quiescence, with each op's
+// effective amount derived from its returned prev per the clamped
+// min(n, prev-lower) / plain-add semantics.
+func TestCounterMultiUnitLowerBoundStress(t *testing.T) {
+	const (
+		lower   = int64(0)
+		initial = int64(8)
+		perG    = 2000
+	)
+	adders := 3
+	subbers := 5
+	if testing.Short() {
+		adders, subbers = 2, 3
+	}
+	c := NewCounter(DefaultParams(adders+subbers), initial, true, lower)
+
+	var (
+		wg    sync.WaitGroup
+		added atomic.Int64 // effective amount added
+		taken atomic.Int64 // effective amount subtracted
+	)
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := int64(i%5 + 1)
+				var prev int64
+				if n == 1 {
+					prev = c.FaI()
+				} else {
+					prev = c.AddN(n)
+				}
+				if prev < lower {
+					t.Errorf("AddN(%d) observed value %d below bound %d", n, prev, lower)
+					return
+				}
+				added.Add(n) // lower-bounded counter never clamps additions
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < subbers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := int64((i+g)%5 + 1)
+				var prev int64
+				if n == 1 {
+					prev = c.FaD()
+				} else {
+					prev = c.SubN(n)
+				}
+				if prev < lower {
+					t.Errorf("SubN(%d) observed value %d below bound %d", n, prev, lower)
+					return
+				}
+				if eff := prev - lower; eff < n {
+					taken.Add(eff)
+				} else {
+					taken.Add(n)
+				}
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	got := c.Value()
+	if got < lower {
+		t.Fatalf("final value %d below bound %d", got, lower)
+	}
+	if want := initial + added.Load() - taken.Load(); got != want {
+		t.Fatalf("final value %d, want initial(%d) + added(%d) - taken(%d) = %d",
+			got, initial, added.Load(), taken.Load(), want)
+	}
+}
+
+// TestCounterMultiUnitUpperBoundStress mirrors the multi-unit stress
+// against an upper bound: AddN clamps to min(n, upper-prev) while SubN
+// clamps at the lower bound, and the value must stay inside [0, upper]
+// throughout with exact books at quiescence.
+func TestCounterMultiUnitUpperBoundStress(t *testing.T) {
+	const (
+		upper = int64(24)
+		perG  = 2000
+	)
+	adders := 5
+	subbers := 3
+	if testing.Short() {
+		adders, subbers = 3, 2
+	}
+	c := NewCounterBounds(DefaultParams(adders+subbers), 0, 0, upper)
+
+	var (
+		wg    sync.WaitGroup
+		added atomic.Int64
+		taken atomic.Int64
+	)
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := int64((i+g)%5 + 1)
+				prev := c.AddN(n)
+				if prev > upper || prev < 0 {
+					t.Errorf("AddN(%d) observed value %d outside [0,%d]", n, prev, upper)
+					return
+				}
+				if eff := upper - prev; eff < n {
+					added.Add(eff)
+				} else {
+					added.Add(n)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < subbers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := int64(i%5 + 1)
+				prev := c.SubN(n)
+				if prev > upper || prev < 0 {
+					t.Errorf("SubN(%d) observed value %d outside [0,%d]", n, prev, upper)
+					return
+				}
+				if eff := prev; eff < n {
+					taken.Add(eff)
+				} else {
+					taken.Add(n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	got := c.Value()
+	if got < 0 || got > upper {
+		t.Fatalf("final value %d outside [0,%d]", got, upper)
+	}
+	if want := added.Load() - taken.Load(); got != want {
+		t.Fatalf("final value %d, want added(%d) - taken(%d) = %d", got, added.Load(), taken.Load(), want)
+	}
+}
+
 // TestCounterUpperBoundStress is the mirrored admission-control case:
 // BFaI against an upper bound with concurrent FaD, as pqd's admission
 // semaphore runs it. The value must never exceed the upper bound and

@@ -124,6 +124,11 @@ type record[T any] struct {
 	rng      *rand.Rand
 	factor   float64
 	combined bool
+	// units is true while every member of this tree carries a ±1 sum.
+	// Only such trees may eliminate: with uniform units, opposite trees
+	// of equal size pair off exactly; multi-unit operations (AddN/SubN)
+	// have no such pairing and bounce off reversing trees instead.
+	units bool
 }
 
 type childRef[T any] struct {
@@ -189,6 +194,7 @@ func (c *core[T]) begin(sum int64, item T) *record[T] {
 	my.children = my.children[:0]
 	my.members = append(my.members[:0], my)
 	my.combined = false
+	my.units = sum == 1 || sum == -1
 	my.item = item
 	my.result.Store(resEmpty)
 	my.sum.Store(sum)
@@ -226,6 +232,11 @@ const (
 	outExit outcome = iota
 	outCaptured
 	outEliminated
+	// outIncompatible: a reversing tree was captured but cannot merge
+	// (bounded operations do not commute) or pair off (a member is
+	// multi-unit). The caller must apply the captured tree centrally on
+	// its behalf and resume its own protocol.
+	outIncompatible
 )
 
 // collide drives one pass of the collision protocol starting at layer
@@ -262,14 +273,24 @@ func (c *core[T]) collide(my *record[T], mySum int64, eliminate bool, start int)
 			}
 			if q.location.CompareAndSwap(locCode(d), 0) {
 				qSum := q.sum.Load()
-				if eliminate && qSum+mySum == 0 {
-					my.combined = true // elimination is a productive collision
-					c.stats.eliminated.Add(2)
-					return outEliminated, q, d, mySum
+				if eliminate {
+					if qSum+mySum == 0 && my.units && q.units {
+						my.combined = true // elimination is a productive collision
+						c.stats.eliminated.Add(2)
+						return outEliminated, q, d, mySum
+					}
+					if (qSum < 0) != (mySum < 0) {
+						// Reversing trees that cannot pair off exactly: the
+						// clamped operations do not commute, so the trees
+						// must stay separate. Hand q to the caller to apply
+						// centrally on its behalf.
+						return outIncompatible, q, d, mySum
+					}
 				}
 				c.stats.combined.Add(1)
 				mySum += qSum
 				my.sum.Store(mySum)
+				my.units = my.units && q.units
 				my.children = append(my.children, childRef[T]{rec: q, sum: qSum})
 				my.members = append(my.members, q.members...)
 				my.combined = true

@@ -58,6 +58,32 @@ func (s *Stack[V]) Pop() (V, bool) {
 	return s.run(-1, *new(V))
 }
 
+// PushN adds all of vs in one central application: one lock hold for the
+// whole batch. Batching is itself the amortization, so PushN bypasses the
+// collision layers — funnel records carry exactly one item, and a batch
+// pretending to be a unit operation would break elimination pairing.
+func (s *Stack[V]) PushN(vs []V) {
+	if len(vs) == 0 {
+		return
+	}
+	s.core.stats.central.Add(1)
+	s.mu.Lock()
+	s.items = append(s.items, vs...)
+	s.size.Store(int64(len(s.items) - s.head))
+	s.mu.Unlock()
+}
+
+// PopN removes up to k items in one central application, in the same
+// order k sequential Pops would have returned them. Like PushN it goes
+// straight to the central stack under one lock hold.
+func (s *Stack[V]) PopN(k int) []V {
+	if k <= 0 {
+		return nil
+	}
+	s.core.stats.central.Add(1)
+	return s.popCentral(k)
+}
+
 func (s *Stack[V]) run(dir int64, item V) (V, bool) {
 	my := s.core.begin(dir, item)
 	mySum := dir
@@ -77,6 +103,11 @@ func (s *Stack[V]) run(dir int64, item V) (V, bool) {
 
 		case outEliminated:
 			return s.eliminate(my, q, dir)
+
+		case outIncompatible:
+			// Stack trees are always all-unit, so reversing trees of equal
+			// size always pair off; collide can never report this here.
+			panic("funnel: incompatible stack trees")
 
 		case outExit:
 			if !my.location.CompareAndSwap(locCode(d), 0) {
@@ -146,7 +177,33 @@ func (s *Stack[V]) applyCentral(my *record[V], dir int64) (V, bool) {
 		return ownVal, true
 	}
 
-	k := len(my.members)
+	popped := s.popCentral(len(my.members))
+	avail := len(popped)
+	for i, mem := range my.members {
+		ok := i < avail
+		if mem == my {
+			if ok {
+				ownVal = popped[i]
+			} else {
+				ownOK = false
+			}
+			continue
+		}
+		if ok {
+			mem.item = popped[i]
+			mem.result.Store(encodeResult(false, false, 0))
+		} else {
+			mem.result.Store(encodeResult(false, true, 0))
+		}
+	}
+	s.core.finish(my)
+	return ownVal, ownOK
+}
+
+// popCentral removes up to k items from the central storage under the
+// stack lock, honoring the LIFO/FIFO discipline, and returns them in
+// hand-out order.
+func (s *Stack[V]) popCentral(k int) []V {
 	s.mu.Lock()
 	avail := k
 	if n := len(s.items) - s.head; avail > n {
@@ -177,24 +234,5 @@ func (s *Stack[V]) applyCentral(my *record[V], dir int64) (V, bool) {
 	}
 	s.size.Store(int64(len(s.items) - s.head))
 	s.mu.Unlock()
-
-	for i, mem := range my.members {
-		ok := i < avail
-		if mem == my {
-			if ok {
-				ownVal = popped[i]
-			} else {
-				ownOK = false
-			}
-			continue
-		}
-		if ok {
-			mem.item = popped[i]
-			mem.result.Store(encodeResult(false, false, 0))
-		} else {
-			mem.result.Store(encodeResult(false, true, 0))
-		}
-	}
-	s.core.finish(my)
-	return ownVal, ownOK
+	return popped
 }

@@ -46,7 +46,12 @@ type BenchRun struct {
 	// Procs overrides the file-level Procs for this run (native suites
 	// sweep goroutine counts within one document); 0 means the
 	// file-level value applies.
-	Procs         int `json:"procs,omitempty"`
+	Procs int `json:"procs,omitempty"`
+	// Batch is the operations per queue access for this run; 0 and 1
+	// both mean plain single operations. Latency samples and op totals
+	// count individual elements regardless of batching, so runs at
+	// different batch sizes are directly comparable.
+	Batch         int `json:"batch,omitempty"`
 	Inserts       int `json:"inserts"`
 	Deletes       int `json:"deletes"`
 	FailedDeletes int `json:"failed_deletes"`
@@ -99,6 +104,14 @@ func LatencyFromSummary(s stats.Summary) BenchLatency {
 // Generated stamp is left empty for the caller (keeps this function
 // deterministic for tests).
 func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*BenchFile, []simpq.Result, error) {
+	return RunBenchSuiteBatch(procs, pris, scale, 0, progress)
+}
+
+// RunBenchSuiteBatch is RunBenchSuite plus a batched companion run: when
+// batch > 1 every algorithm is measured twice — once with single
+// operations and once with batch-sized accesses — in one document, so
+// the two can be compared point-for-point.
+func RunBenchSuiteBatch(procs, pris int, scale float64, batch int, progress func(string)) (*BenchFile, []simpq.Result, error) {
 	cfg := simpq.DefaultWorkload()
 	cfg.OpsPerProc = scaleOps(cfg.OpsPerProc, scale)
 	cfg.KeepLatencies = true
@@ -108,37 +121,46 @@ func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*Benc
 		Priorities: pris,
 		Scale:      scale,
 	}
-	results := make([]simpq.Result, 0, len(simpq.Algorithms))
-	for _, alg := range simpq.Algorithms {
-		if progress != nil {
-			progress(fmt.Sprintf("bench %s procs=%d", alg, procs))
+	batches := []int{0}
+	if batch > 1 {
+		batches = append(batches, batch)
+	}
+	results := make([]simpq.Result, 0, len(simpq.Algorithms)*len(batches))
+	for _, b := range batches {
+		runCfg := cfg
+		runCfg.Batch = b
+		for _, alg := range simpq.Algorithms {
+			if progress != nil {
+				progress(fmt.Sprintf("bench %s procs=%d batch=%d", alg, procs, b))
+			}
+			r, err := simpq.RunWorkload(alg, procs, pris, runCfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench %s: %w", alg, err)
+			}
+			results = append(results, r)
+			run := BenchRun{
+				Algorithm:     string(alg),
+				Batch:         b,
+				Inserts:       r.Inserts,
+				Deletes:       r.Deletes,
+				FailedDeletes: r.FailedDeletes,
+				Insert:        LatencyFromSummary(r.InsertSummary),
+				Delete:        LatencyFromSummary(r.DeleteSummary),
+				Internals:     r.Internals,
+				Sim: BenchSim{
+					FinalTime:   r.Stats.FinalTime,
+					Events:      r.Stats.Events,
+					MemOps:      r.Stats.MemOps,
+					StallCycles: r.Stats.StallCycles,
+					WordsUsed:   r.Stats.WordsUsed,
+				},
+			}
+			if r.Stats.FinalTime > 0 {
+				run.ThroughputOpsPerKCycle =
+					float64(r.Inserts+r.Deletes) / float64(r.Stats.FinalTime) * 1000
+			}
+			bf.Runs = append(bf.Runs, run)
 		}
-		r, err := simpq.RunWorkload(alg, procs, pris, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("bench %s: %w", alg, err)
-		}
-		results = append(results, r)
-		run := BenchRun{
-			Algorithm:     string(alg),
-			Inserts:       r.Inserts,
-			Deletes:       r.Deletes,
-			FailedDeletes: r.FailedDeletes,
-			Insert:        LatencyFromSummary(r.InsertSummary),
-			Delete:        LatencyFromSummary(r.DeleteSummary),
-			Internals:     r.Internals,
-			Sim: BenchSim{
-				FinalTime:   r.Stats.FinalTime,
-				Events:      r.Stats.Events,
-				MemOps:      r.Stats.MemOps,
-				StallCycles: r.Stats.StallCycles,
-				WordsUsed:   r.Stats.WordsUsed,
-			},
-		}
-		if r.Stats.FinalTime > 0 {
-			run.ThroughputOpsPerKCycle =
-				float64(r.Inserts+r.Deletes) / float64(r.Stats.FinalTime) * 1000
-		}
-		bf.Runs = append(bf.Runs, run)
 	}
 	return bf, results, nil
 }
@@ -167,9 +189,9 @@ func (bf *BenchFile) Validate() error {
 	seen := map[string]bool{}
 	for i := range bf.Runs {
 		r := &bf.Runs[i]
-		key := fmt.Sprintf("%s/%d", r.Algorithm, r.Procs)
+		key := fmt.Sprintf("%s/%d/%d", r.Algorithm, r.Procs, r.Batch)
 		if seen[key] {
-			return fmt.Errorf("duplicate run for %q at procs=%d", r.Algorithm, r.Procs)
+			return fmt.Errorf("duplicate run for %q at procs=%d batch=%d", r.Algorithm, r.Procs, r.Batch)
 		}
 		seen[key] = true
 		if r.Inserts+r.Deletes+r.FailedDeletes <= 0 {
@@ -201,7 +223,7 @@ func (bf *BenchFile) Validate() error {
 	}
 	if suite == SuiteSim {
 		for _, alg := range simpq.Algorithms {
-			if !seen[string(alg)+"/0"] {
+			if !seen[string(alg)+"/0/0"] {
 				return fmt.Errorf("missing run for %q", alg)
 			}
 		}

@@ -22,6 +22,13 @@
 // CheckTruncated: operations that were in flight when their processor
 // died are passed as PendingOps and treated as possibly linearized, so
 // safety for the surviving processors can still be proved.
+//
+// Batch operations record one Op per sub-operation, sharing a nonzero
+// Op.Batch id; Check additionally enforces that a batch is internally
+// consistent ("batch") and that a delete batch looks like sequential
+// deletes ("batch-order"). Quiescently consistent implementations — the
+// funnel-based queues — are checked with CheckQuiescent, which relaxes
+// the conditions to busy-period granularity.
 package order
 
 import (
@@ -50,6 +57,12 @@ type Op struct {
 	OK bool
 	// Start and End bound the operation's execution interval, Start < End.
 	Start, End int64
+	// Batch groups the sub-operations of one batch call: all ops sharing
+	// a nonzero Batch id belong to one InsertBatch or DeleteMinBatch
+	// invocation, must share Kind and execution interval, and their slice
+	// order in the history is the order the call produced them. Zero means
+	// not batched.
+	Batch uint64
 }
 
 // Violation describes a detected inconsistency.
@@ -94,6 +107,121 @@ func Check(history []Op) []Violation {
 // every report is a real inconsistency under every possible linearization
 // of the pending operations.
 func CheckTruncated(history []Op, pending []PendingOp) []Violation {
+	out := checkBatches(history)
+	return append(out, checkCore(history, pending)...)
+}
+
+// CheckQuiescent verifies a history against quiescent consistency, the
+// guarantee of the funnel-based queues: overlapping operations may
+// reorder freely, but between quiescent points (instants with no
+// operation in flight) the queue behaves like a sequential one. It widens
+// every operation's interval to the envelope of its busy period — the
+// maximal run of transitively overlapping operations — and then applies
+// the same necessary conditions as Check, which makes them sound under
+// reordering: an item definitely present across a whole busy period must
+// still beat a worse delete, and emptiness cannot be reported while it
+// sits there. Batch sub-operations may legally interleave with
+// overlapping operations under quiescent consistency, so the batch rules
+// are not applied.
+func CheckQuiescent(history []Op) []Violation {
+	if len(history) == 0 {
+		return nil
+	}
+	idx := make([]int, len(history))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return history[idx[a]].Start < history[idx[b]].Start })
+	widened := make([]Op, len(history))
+	copy(widened, history)
+	for i := 0; i < len(idx); {
+		start := history[idx[i]].Start
+		end := history[idx[i]].End
+		j := i + 1
+		for j < len(idx) && history[idx[j]].Start < end {
+			if e := history[idx[j]].End; e > end {
+				end = e
+			}
+			j++
+		}
+		for k := i; k < j; k++ {
+			widened[idx[k]].Start = start
+			widened[idx[k]].End = end
+			widened[idx[k]].Batch = 0
+		}
+		i = j
+	}
+	return checkCore(widened, nil)
+}
+
+// checkBatches verifies the batch conditions: sub-operations sharing a
+// batch id must agree on kind and interval ("batch"), and a delete batch
+// must behave like sequential deletes — nondecreasing priorities in
+// production order, and no success after it reported dry ("batch-order").
+func checkBatches(history []Op) []Violation {
+	var out []Violation
+	type group struct {
+		kind       Kind
+		start, end int64
+		ops        []*Op
+	}
+	groups := map[uint64]*group{}
+	var order []uint64 // first-seen order keeps reports deterministic
+	for i := range history {
+		op := &history[i]
+		if op.Batch == 0 {
+			continue
+		}
+		g, ok := groups[op.Batch]
+		if !ok {
+			g = &group{kind: op.Kind, start: op.Start, end: op.End}
+			groups[op.Batch] = g
+			order = append(order, op.Batch)
+		}
+		if op.Kind != g.kind || op.Start != g.start || op.End != g.end {
+			out = append(out, Violation{
+				Rule: "batch",
+				Detail: fmt.Sprintf("batch %d: operation %+v disagrees with the batch's kind %d or interval [%d,%d]",
+					op.Batch, *op, g.kind, g.start, g.end),
+			})
+		}
+		g.ops = append(g.ops, op)
+	}
+	for _, id := range order {
+		g := groups[id]
+		if g.kind != DeleteMin {
+			continue
+		}
+		lastPri := int(-1) << 62
+		dry := false
+		for _, op := range g.ops {
+			if !op.OK {
+				dry = true
+				continue
+			}
+			if dry {
+				out = append(out, Violation{
+					Rule: "batch-order",
+					Detail: fmt.Sprintf("batch %d: delete returned value %#x after the batch reported dry",
+						id, op.Val),
+				})
+			}
+			if op.Pri < lastPri {
+				out = append(out, Violation{
+					Rule: "batch-order",
+					Detail: fmt.Sprintf("batch %d: priority %d returned after priority %d",
+						id, op.Pri, lastPri),
+				})
+			}
+			lastPri = op.Pri
+		}
+	}
+	return out
+}
+
+// checkCore applies the interval-based necessary conditions shared by all
+// checking modes.
+func checkCore(history []Op, pending []PendingOp) []Violation {
 	var out []Violation
 
 	pendingInserts := map[uint64]*PendingOp{}

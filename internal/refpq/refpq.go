@@ -36,6 +36,11 @@ func (q *Queue) Insert(pri int, val uint64) {
 
 // DeleteMin removes an element of the smallest non-empty priority.
 func (q *Queue) DeleteMin() (uint64, bool) {
+	_, v, ok := q.popMin()
+	return v, ok
+}
+
+func (q *Queue) popMin() (int, uint64, bool) {
 	for i := range q.bins {
 		n := len(q.bins[i])
 		if n == 0 {
@@ -50,7 +55,37 @@ func (q *Queue) DeleteMin() (uint64, bool) {
 			q.bins[i] = q.bins[i][:n-1]
 		}
 		q.size--
-		return v, true
+		return i, v, true
 	}
-	return 0, false
+	return 0, 0, false
+}
+
+// Item pairs a priority with a value — the unit of batch operations,
+// mirroring core.Item for the reference model.
+type Item struct {
+	Pri int
+	Val uint64
+}
+
+// InsertBatch adds every item, defining batch insertion as the items
+// applied one by one in slice order.
+func (q *Queue) InsertBatch(items []Item) {
+	for _, it := range items {
+		q.Insert(it.Pri, it.Val)
+	}
+}
+
+// DeleteMinBatch removes up to k items, defining batch deletion as k
+// sequential DeleteMin calls: nondecreasing priority, short only when the
+// queue runs dry.
+func (q *Queue) DeleteMinBatch(k int) []Item {
+	var out []Item
+	for len(out) < k {
+		pri, v, ok := q.popMin()
+		if !ok {
+			break
+		}
+		out = append(out, Item{Pri: pri, Val: v})
+	}
+	return out
 }

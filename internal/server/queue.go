@@ -186,29 +186,121 @@ func (q *servedQueue) deleteMin() (wire.Item, bool) {
 	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true
 }
 
+// insertBatch admits and stores a whole batch: one multi-unit bounded
+// increment reserves admission slots for the accepted prefix, and each
+// shard receives its share through the queues' native InsertBatch fast
+// path. Priorities must already be validated (the frame handler checks
+// the whole batch up front). It reports how many items were accepted;
+// the remainder were shed.
+func (q *servedQueue) insertBatch(items []wire.Item) int {
+	if len(items) == 0 {
+		return 0
+	}
+	if q.draining.Load() {
+		q.retryAfter.Add(int64(len(items)))
+		return 0
+	}
+	accepted := len(items)
+	if q.admit != nil {
+		// AddN clamps at Capacity and returns the previous value, so the
+		// grant is exactly the slots the counter actually took.
+		prev := q.admit.AddN(int64(len(items)))
+		granted := q.spec.Capacity - prev
+		if granted < 0 {
+			granted = 0
+		}
+		if granted > int64(len(items)) {
+			granted = int64(len(items))
+		}
+		accepted = int(granted)
+		if rej := len(items) - accepted; rej > 0 {
+			q.retryAfter.Add(int64(rej))
+		}
+		if accepted == 0 {
+			return 0
+		}
+	}
+	byShard := make(map[int][]pq.Item[[]byte])
+	for _, it := range items[:accepted] {
+		pri := int(it.Pri)
+		tagged := make([]byte, 4+len(it.Value))
+		binary.BigEndian.PutUint32(tagged, it.Pri)
+		copy(tagged[4:], it.Value)
+		s := q.shardFor(pri)
+		byShard[s] = append(byShard[s], pq.Item[[]byte]{Pri: pri - q.bases[s], Val: tagged})
+	}
+	for s, batch := range byShard {
+		pq.InsertBatch(q.shards[s], batch)
+	}
+	q.inserts.Add(int64(accepted))
+	return accepted
+}
+
+// putBackN returns entries taken from a shard's DeleteMinBatch to that
+// shard in one native batch. Like putBack it touches nothing but the
+// shard, so every entry goes back exactly once and cannot be shed.
+func (q *servedQueue) putBackN(shard int, got []pq.Item[[]byte]) {
+	batch := make([]pq.Item[[]byte], len(got))
+	for i, it := range got {
+		pri := int(binary.BigEndian.Uint32(it.Val))
+		batch[i] = pq.Item[[]byte]{Pri: pri - q.bases[shard], Val: it.Val}
+	}
+	pq.InsertBatch(q.shards[shard], batch)
+}
+
+// popCommitN records n pops whose items will be delivered: one
+// multi-unit decrement frees their admission slots and counts them.
+func (q *servedQueue) popCommitN(n int) {
+	if n <= 0 {
+		return
+	}
+	if q.admit != nil {
+		q.admit.SubN(int64(n))
+	}
+	q.deletes.Add(int64(n))
+}
+
 // deleteMinBatch removes up to max items whose combined TItems encoding
-// stays within budget payload bytes. An item that would overflow the
-// budget goes back to its shard un-popped, so a response frame never
-// exceeds the wire limit and no popped item is ever dropped. Any single
-// admitted item fits (values are capped at wire.MaxValue), so progress
-// is guaranteed: the first pop is always kept.
+// stays within budget payload bytes, pulling from each shard through
+// the queues' native DeleteMinBatch fast path. An item that would
+// overflow the budget goes back to its shard un-popped, so a response
+// frame never exceeds the wire limit and no popped item is ever
+// dropped. Any single admitted item fits (values are capped at
+// wire.MaxValue), so progress is guaranteed: the first pop is always
+// kept. A short result means the queue ran dry or a shard declined
+// under contention; the client just asks again.
 func (q *servedQueue) deleteMinBatch(max, budget int) []wire.Item {
 	var items []wire.Item
 	bytes := 4 // item-count prefix
-	for len(items) < max {
-		v, ok := q.popRaw()
-		if !ok {
-			q.emptyDeletes.Add(1)
-			break
+	for si, sub := range q.shards {
+		want := max - len(items)
+		if want <= 0 {
+			return items
 		}
-		sz := 4 + len(v) // pri(4) + bloblen(4) + value(len(v)-4)
-		if len(items) > 0 && bytes+sz > budget {
-			q.putBack(v)
-			break
+		got := pq.DeleteMinBatch(sub, want)
+		if len(got) == 0 {
+			continue // shard dry: move to the next priority band
 		}
-		q.popCommit()
-		bytes += sz
-		items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]})
+		kept := 0
+		for _, item := range got {
+			v := item.Val
+			sz := 4 + len(v) // pri(4) + bloblen(4) + value(len(v)-4)
+			if len(items) > 0 && bytes+sz > budget {
+				break
+			}
+			bytes += sz
+			items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]})
+			kept++
+		}
+		q.popCommitN(kept)
+		if kept < len(got) {
+			// Budget exhausted: the remainder goes back exactly once.
+			q.putBackN(si, got[kept:])
+			return items
+		}
+	}
+	if len(items) < max {
+		q.emptyDeletes.Add(1)
 	}
 	return items
 }

@@ -359,13 +359,7 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 				return s.replyErr(bw, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
 			}
 		}
-		accepted := 0
-		for _, it := range m.Items {
-			if q.insert(it) != insOK {
-				break
-			}
-			accepted++
-		}
+		accepted := q.insertBatch(m.Items)
 		ok := wire.InsertOK{Accepted: uint32(accepted), Rejected: uint32(len(m.Items) - accepted)}
 		if ok.Rejected > 0 {
 			ok.RetryAfterMillis = uint32(s.cfg.RetryAfterMillis)

@@ -379,6 +379,106 @@ func TestDeleteMinBatchRespectsFrameLimit(t *testing.T) {
 	}
 }
 
+// TestBatchRoundTripShardedCapacity drives the native batch paths end
+// to end on a sharded, capacity-bounded queue: batched inserts reserve
+// admission slots with one multi-unit counter increment and fan out to
+// the shards' native InsertBatch, the drain pulls through the shards'
+// native DeleteMinBatch with values large enough that the frame budget
+// forces putBackN mid-batch, and the multi-unit decrement on delivery
+// frees every admission slot exactly once — proven by refilling the
+// queue to capacity afterwards.
+func TestBatchRoundTripShardedCapacity(t *testing.T) {
+	const (
+		n       = 24
+		valSize = 150 << 10 // 24 × 150 KiB ≈ 3.5 MiB > MaxFrame
+		chunk   = 6         // insert request: 6 × 150 KiB < MaxFrame
+	)
+	_, addr := startServer(t, QueueSpec{
+		Name: "jobs", Algorithm: pq.FunnelTree, Priorities: 8, Shards: 4, Capacity: n})
+	c := dialClient(t, addr, func(cfg *pqclient.Config) {
+		cfg.RequestTimeout = 30 * time.Second
+	})
+	ctx := context.Background()
+
+	// Fill to capacity with batched inserts spread over every shard.
+	fill := func() {
+		for base := 0; base < n; base += chunk {
+			items := make([]pqclient.Item, chunk)
+			for j := range items {
+				id := base + j
+				v := make([]byte, valSize)
+				binary.BigEndian.PutUint32(v, uint32(id))
+				items[j] = pqclient.Item{Pri: id % 8, Value: v}
+			}
+			accepted, err := c.InsertBatch(ctx, "jobs", items)
+			if err != nil {
+				t.Fatalf("insert batch at %d: %v", base, err)
+			}
+			if accepted != chunk {
+				t.Fatalf("insert batch at %d: accepted %d, want %d", base, accepted, chunk)
+			}
+		}
+	}
+	fill()
+
+	// Full queue: a further batch must be shed whole with a retry hint.
+	if accepted, err := c.InsertBatch(ctx, "jobs", []pqclient.Item{{Pri: 0}, {Pri: 1}}); accepted != 0 || !isOverload(err) {
+		t.Fatalf("insert into full queue: accepted=%d err=%v", accepted, err)
+	}
+
+	// Drain. The frame budget must split the response into several
+	// rounds (exercising putBackN), every item must arrive exactly once
+	// and untruncated, and — since each round runs at quiescence — the
+	// full delivery order must be nondecreasing in priority.
+	seen := make([]bool, n)
+	rounds, lastPri := 0, -1
+	for {
+		items, err := c.DeleteMinBatch(ctx, "jobs", 64)
+		if err != nil {
+			t.Fatalf("batch round %d: %v", rounds, err)
+		}
+		if len(items) == 0 {
+			break
+		}
+		rounds++
+		for _, it := range items {
+			if len(it.Value) != valSize {
+				t.Fatalf("value truncated to %d bytes", len(it.Value))
+			}
+			id := binary.BigEndian.Uint32(it.Value)
+			if seen[id] {
+				t.Fatalf("item %d served twice", id)
+			}
+			seen[id] = true
+			if it.Pri < lastPri {
+				t.Fatalf("delivery order regressed: pri %d after %d", it.Pri, lastPri)
+			}
+			lastPri = it.Pri
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d lost", id)
+		}
+	}
+	if rounds < 2 {
+		t.Fatalf("all %d large items arrived in %d response(s); frame cap never engaged", n, rounds)
+	}
+
+	st, err := c.Stats(ctx, "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != n || st.Deletes != n || st.Size != 0 {
+		t.Fatalf("stats after drain: inserts=%d deletes=%d size=%d, want %d/%d/0",
+			st.Inserts, st.Deletes, st.Size, n, n)
+	}
+
+	// The drain's popCommitN must have freed every admission slot: a
+	// second fill to capacity succeeds in full.
+	fill()
+}
+
 // TestClientRejectsOversizedRequests checks that requests the server's
 // frame limit could never accept fail client-side with a descriptive
 // error — and without poisoning the connection for later requests.

@@ -1,0 +1,86 @@
+package simpq
+
+import (
+	"sort"
+
+	"pq/internal/sim"
+)
+
+// BatchItem is one element of a batch operation: a value and the
+// priority it carries (or was delivered at).
+type BatchItem struct {
+	Pri int
+	Val uint64
+}
+
+// BatchQueue is implemented by queues with native batch fast paths: one
+// synchronization episode (lock hold, funnel traversal, counter
+// operation) covers the whole batch instead of one per element.
+//
+// InsertBatch adds every item; DeleteMinBatch removes up to k items in
+// the same order k consecutive DeleteMin calls would deliver them, a
+// short result meaning the queue ran (apparently) dry.
+type BatchQueue interface {
+	Queue
+	InsertBatch(p *sim.Proc, items []BatchItem)
+	DeleteMinBatch(p *sim.Proc, k int) []BatchItem
+}
+
+// InsertBatch inserts items through q's native fast path when it has
+// one, or element-wise otherwise, so workloads can run any algorithm at
+// any batch size.
+func InsertBatch(p *sim.Proc, q Queue, items []BatchItem) {
+	if bq, ok := q.(BatchQueue); ok {
+		bq.InsertBatch(p, items)
+		return
+	}
+	for _, it := range items {
+		q.Insert(p, it.Pri, it.Val)
+	}
+}
+
+// DeleteMinBatch removes up to k items through q's native fast path
+// when it has one, or element-wise otherwise. Fallback items carry
+// Pri -1: the single-element interface does not report priorities.
+func DeleteMinBatch(p *sim.Proc, q Queue, k int) []BatchItem {
+	if bq, ok := q.(BatchQueue); ok {
+		return bq.DeleteMinBatch(p, k)
+	}
+	var out []BatchItem
+	for i := 0; i < k; i++ {
+		v, ok := q.DeleteMin(p)
+		if !ok {
+			break
+		}
+		out = append(out, BatchItem{Pri: -1, Val: v})
+	}
+	return out
+}
+
+// batchRun is a maximal run of equal-priority values within a sorted
+// batch — the unit the per-priority structures consume in one call.
+type batchRun struct {
+	pri  int
+	vals []uint64
+}
+
+// batchRuns sorts items by priority (stable, so equal-priority values
+// keep their slice order) and groups them into runs. Host-side work
+// only: a real processor would stage its batch in private memory.
+func batchRuns(items []BatchItem) []batchRun {
+	if len(items) == 0 {
+		return nil
+	}
+	sorted := make([]BatchItem, len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Pri < sorted[j].Pri })
+	var runs []batchRun
+	for _, it := range sorted {
+		if n := len(runs); n > 0 && runs[n-1].pri == it.Pri {
+			runs[n-1].vals = append(runs[n-1].vals, it.Val)
+			continue
+		}
+		runs = append(runs, batchRun{pri: it.Pri, vals: []uint64{it.Val}})
+	}
+	return runs
+}

@@ -47,10 +47,55 @@ func (b *Bin) Insert(p *sim.Proc, e uint64) bool {
 	return stored
 }
 
+// InsertN adds all elements under one lock hold — the batch fast path.
+// Elements beyond capacity are silently dropped like Insert; it reports
+// how many were stored.
+func (b *Bin) InsertN(p *sim.Proc, es []uint64) int {
+	if len(es) == 0 {
+		return 0
+	}
+	b.lock.Acquire(p)
+	n := p.Read(b.size)
+	stored := 0
+	for _, e := range es {
+		if n >= uint64(b.cap) {
+			break
+		}
+		p.Write(b.elems+sim.Addr(n), e)
+		n++
+		stored++
+	}
+	p.Write(b.size, n)
+	b.lock.Release(p)
+	return stored
+}
+
 // Empty reports whether the bin currently looks empty; it costs one read
 // and takes no lock.
 func (b *Bin) Empty(p *sim.Proc) bool {
 	return p.Read(b.size) == 0
+}
+
+// DeleteN removes and returns up to k elements under one lock hold, in
+// the order k consecutive Deletes would return them; a short result means
+// the bin ran dry.
+func (b *Bin) DeleteN(p *sim.Proc, k int) []uint64 {
+	if k < 1 {
+		return nil
+	}
+	b.lock.Acquire(p)
+	n := p.Read(b.size)
+	avail := uint64(k)
+	if avail > n {
+		avail = n
+	}
+	out := make([]uint64, avail)
+	for i := uint64(0); i < avail; i++ {
+		out[i] = p.Read(b.elems + sim.Addr(n-1-i))
+	}
+	p.Write(b.size, n-avail)
+	b.lock.Release(p)
+	return out
 }
 
 // Delete removes and returns an unspecified element, or ok=false if the
@@ -121,6 +166,35 @@ func (c *Counter) BFaI(p *sim.Proc, bound uint64) uint64 {
 	old := p.Read(c.val)
 	if old < bound {
 		p.Write(c.val, old+1)
+	}
+	c.lock.Release(p)
+	return old
+}
+
+// AddN atomically adds n and returns the previous value — n increments
+// for one lock hold.
+func (c *Counter) AddN(p *sim.Proc, n uint64) uint64 {
+	c.lock.Acquire(p)
+	old := p.Read(c.val)
+	p.Write(c.val, old+n)
+	c.lock.Release(p)
+	return old
+}
+
+// BSubN atomically subtracts min(n, prev-bound) — n bounded decrements
+// for one lock hold — and returns the previous value.
+func (c *Counter) BSubN(p *sim.Proc, n, bound uint64) uint64 {
+	c.lock.Acquire(p)
+	old := p.Read(c.val)
+	take := n
+	if old < bound+take {
+		take = 0
+		if old > bound {
+			take = old - bound
+		}
+	}
+	if take > 0 {
+		p.Write(c.val, old-take)
 	}
 	c.lock.Release(p)
 	return old

@@ -93,6 +93,7 @@ type funnelRec struct {
 	members  []*funnelRec // flattened subtree including self, in apply order
 	factor   float64      // adaption factor in (0, 1]
 	combined bool         // did this operation combine at least once?
+	units    bool         // every member of this tree is a ±1 operation
 }
 
 type childRef struct {
@@ -168,9 +169,10 @@ func locCode(layer int) uint64 { return uint64(layer) + 1 }
 type collideOutcome int
 
 const (
-	outExit       collideOutcome = iota // exited the funnel; may apply centrally
-	outCaptured                         // collided with; wait for a result
-	outEliminated                       // met a reversing operation
+	outExit         collideOutcome = iota // exited the funnel; may apply centrally
+	outCaptured                           // collided with; wait for a result
+	outEliminated                         // met a reversing operation
+	outIncompatible                       // captured a reversing tree it cannot pair with
 )
 
 // collide runs the collision protocol of Figure 10 (lines 4..27) for the
@@ -227,10 +229,20 @@ func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool
 			}
 			if p.CAS(q.addr+frLocation, locCode(d), 0) {
 				qSum := int64(p.Read(q.addr + frSum))
-				if eliminate && qSum+mySum == 0 {
+				if eliminate && qSum+mySum == 0 && my.units && q.units {
+					// Only all-unit trees pair off: their members interleave
+					// one-for-one. Multi-unit members would need partial
+					// cancellation, which distribution cannot express.
 					f.stats.eliminations++
 					my.combined = true // elimination is a productive collision
 					return outEliminated, q, d, mySum
+				}
+				if eliminate && (qSum < 0) != (mySum < 0) {
+					// Bounded operations of opposite sign do not commute, so
+					// reversing trees that cannot eliminate must not combine.
+					// The captured tree is handed to the caller, who applies
+					// it centrally on its behalf.
+					return outIncompatible, q, d, mySum
 				}
 				// Trees at the same layer have the same size, so a
 				// same-direction collision is always a legal combine; with
@@ -242,6 +254,7 @@ func (f *funnel) collide(p *sim.Proc, my *funnelRec, mySum int64, eliminate bool
 				my.children = append(my.children, childRef{rec: q, sum: qSum})
 				my.members = append(my.members, q.members...)
 				my.combined = true
+				my.units = my.units && q.units
 				d++
 				p.Write(my.addr+frLocation, locCode(d))
 				n = -1 // restart attempt count at the new layer
@@ -297,6 +310,7 @@ func (f *funnel) begin(p *sim.Proc, sum int64) *funnelRec {
 	my.children = my.children[:0]
 	my.members = append(my.members[:0], my)
 	my.combined = false
+	my.units = sum == 1 || sum == -1
 	p.Write(my.addr+frResult, 0)
 	p.Write(my.addr+frSum, uint64(sum))
 	p.Write(my.addr+frLocation, locCode(0))

@@ -91,6 +91,26 @@ func (c *FunnelCounter) BFaD(p *sim.Proc) uint64 { return c.op(p, -1) }
 // when no upper bound is set.
 func (c *FunnelCounter) BFaI(p *sim.Proc) uint64 { return c.op(p, 1) }
 
+// AddN adds n as one funnel operation, clamped at the upper bound, and
+// returns the previous value: the batch equivalent of n consecutive BFaI
+// calls paying one funnel traversal.
+func (c *FunnelCounter) AddN(p *sim.Proc, n int64) uint64 {
+	if n < 1 {
+		panic("simpq: FunnelCounter.AddN needs n >= 1")
+	}
+	return c.op(p, n)
+}
+
+// BSubN subtracts up to n as one funnel operation, stopping at the lower
+// bound, and returns the previous value; the effective amount taken is
+// min(n, prev-lower), matching n consecutive BFaD calls.
+func (c *FunnelCounter) BSubN(p *sim.Proc, n int64) uint64 {
+	if n < 1 {
+		panic("simpq: FunnelCounter.BSubN needs n >= 1")
+	}
+	return c.op(p, -n)
+}
+
 func (c *FunnelCounter) op(p *sim.Proc, s int64) uint64 {
 	my := c.f.begin(p, s)
 	mySum := s
@@ -126,6 +146,32 @@ func (c *FunnelCounter) op(p *sim.Proc, s int64) uint64 {
 			}
 			p.Write(q.addr+frResult, encodeResult(true, false, qVal))
 			return c.finish(p, my, s, true, myVal)
+
+		case outIncompatible:
+			// A reversing tree we captured but cannot pair with (multi-unit
+			// members cannot partially cancel): apply it centrally on its
+			// behalf, hand it its result, and resume our own pass.
+			qSum := int64(p.Read(q.addr + frSum))
+			for {
+				val := p.Read(c.main)
+				nv := int64(val) + qSum
+				if c.bounded {
+					if qSum < 0 && nv < int64(c.lower) {
+						nv = int64(c.lower)
+					}
+					if qSum > 0 && nv > int64(c.upper) {
+						nv = int64(c.upper)
+					}
+				}
+				if p.CAS(c.main, val, uint64(nv)) {
+					c.Stats.CentralOK++
+					p.Write(q.addr+frResult, encodeResult(false, false, val))
+					break
+				}
+				c.Stats.CentralFail++
+				p.LocalWork(int64(20 + p.Rand(20)))
+			}
+			p.Write(my.addr+frLocation, locCode(d))
 
 		case outExit:
 			if !p.CAS(my.addr+frLocation, locCode(d), 0) {

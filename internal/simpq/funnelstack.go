@@ -134,6 +134,12 @@ func (s *FunnelStack) run(p *sim.Proc, dir int64) (uint64, bool) {
 			s.stats.eliminatedOps += 2 * int64(len(my.members))
 			return s.eliminate(p, my, q, dir)
 
+		case outIncompatible:
+			// Stack trees are always unit-sum (PushN/PopN bypass the
+			// funnel), so reversing trees at one layer have equal size and
+			// cancel exactly; this outcome cannot arise.
+			panic("simpq: incompatible funnel-stack trees")
+
 		case outExit:
 			if !p.CAS(my.addr+frLocation, locCode(d), 0) {
 				_, fail, v := awaitResult(p, my)
@@ -143,6 +149,70 @@ func (s *FunnelStack) run(p *sim.Proc, dir int64) (uint64, bool) {
 			return s.applyCentral(p, my, dir)
 		}
 	}
+}
+
+// PushN adds items directly to the central storage under one lock hold —
+// the batch fast path. A batch already amortizes its synchronization, so
+// it skips the funnel; keeping batch trees out of the layers also keeps
+// every funnel tree unit-sum, which elimination's one-for-one member
+// pairing relies on.
+func (s *FunnelStack) PushN(p *sim.Proc, items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	s.stats.pushes += int64(len(items))
+	s.stats.centralBatches++
+	s.stats.centralOps += int64(len(items))
+	s.lock.Acquire(p)
+	n := int(p.Read(s.size))
+	stored := len(items)
+	if n+stored > s.cap {
+		stored = s.cap - n
+		s.dropped += len(items) - stored
+	}
+	t := n
+	if s.fifo {
+		t = (int(p.Read(s.head)) + n) % s.cap
+	}
+	for i := 0; i < stored; i++ {
+		p.Write(s.cells+sim.Addr((t+i)%s.cap), items[i])
+	}
+	p.Write(s.size, uint64(n+stored))
+	s.lock.Release(p)
+}
+
+// PopN removes up to k items under one lock hold, in the same order k
+// consecutive Pops would deliver them; a short result means the central
+// storage ran dry.
+func (s *FunnelStack) PopN(p *sim.Proc, k int) []uint64 {
+	if k < 1 {
+		return nil
+	}
+	s.stats.pops += int64(k)
+	s.stats.centralBatches++
+	s.stats.centralOps += int64(k)
+	s.lock.Acquire(p)
+	n := int(p.Read(s.size))
+	avail := k
+	if avail > n {
+		avail = n
+	}
+	items := make([]uint64, avail)
+	if s.fifo {
+		h := int(p.Read(s.head))
+		for i := 0; i < avail; i++ {
+			items[i] = p.Read(s.cells + sim.Addr((h+i)%s.cap))
+		}
+		p.Write(s.head, uint64((h+avail)%s.cap))
+	} else {
+		for i := 0; i < avail; i++ {
+			items[i] = p.Read(s.cells + sim.Addr(n-1-i))
+		}
+	}
+	p.Write(s.size, uint64(n-avail))
+	s.lock.Release(p)
+	s.stats.failedPops += int64(k - avail)
+	return items
 }
 
 // eliminate pairs the members of two equal-size reversing trees: the i-th

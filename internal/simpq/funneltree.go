@@ -1,6 +1,10 @@
 package simpq
 
-import "pq/internal/sim"
+import (
+	"sort"
+
+	"pq/internal/sim"
+)
 
 // DefaultFunnelCutoff is the number of tree levels (from the root) whose
 // counters use combining funnels in FunnelTree; deeper counters see far
@@ -12,13 +16,17 @@ const DefaultFunnelCutoff = 4
 type treeCounter interface {
 	FaI(p *sim.Proc) uint64
 	BFaD(p *sim.Proc) uint64
+	AddN(p *sim.Proc, n int64) uint64
+	BSubN(p *sim.Proc, n int64) uint64
 }
 
 // simpleTreeCounter adapts the lock-based Counter (bound fixed at 0).
 type simpleTreeCounter struct{ c *Counter }
 
-func (s simpleTreeCounter) FaI(p *sim.Proc) uint64  { return s.c.FaI(p) }
-func (s simpleTreeCounter) BFaD(p *sim.Proc) uint64 { return s.c.BFaD(p, 0) }
+func (s simpleTreeCounter) FaI(p *sim.Proc) uint64            { return s.c.FaI(p) }
+func (s simpleTreeCounter) BFaD(p *sim.Proc) uint64           { return s.c.BFaD(p, 0) }
+func (s simpleTreeCounter) AddN(p *sim.Proc, n int64) uint64  { return s.c.AddN(p, uint64(n)) }
+func (s simpleTreeCounter) BSubN(p *sim.Proc, n int64) uint64 { return s.c.BSubN(p, uint64(n), 0) }
 
 // FunnelTree is the paper's second new algorithm: SimpleTree with
 // combining-funnel counters in the hottest (top) tree levels and
@@ -30,9 +38,11 @@ type FunnelTree struct {
 	bins     []*FunnelStack
 
 	// Host-side internals counters (no simulated cost).
-	descents   int64 // DeleteMin root-to-leaf traversals
-	rightTurns int64 // descent steps that found a zero counter (went right)
-	increments int64 // counter increments performed by inserts
+	descents     int64 // DeleteMin root-to-leaf traversals
+	rightTurns   int64 // descent steps that found a zero counter (went right)
+	increments   int64 // counter increments performed by inserts
+	batchInserts int64 // InsertBatch calls
+	batchDeletes int64 // DeleteMinBatch calls
 }
 
 // NewFunnelTree builds the tree queue with the default funnel cut-off.
@@ -116,9 +126,11 @@ func (q *FunnelTree) NumPriorities() int { return q.npri }
 // mechanism this algorithm adds over SimpleTree.
 func (q *FunnelTree) Metrics() Metrics {
 	m := Metrics{
-		"descents":    float64(q.descents),
-		"right_turns": float64(q.rightTurns),
-		"increments":  float64(q.increments),
+		"descents":      float64(q.descents),
+		"right_turns":   float64(q.rightTurns),
+		"increments":    float64(q.increments),
+		"batch_inserts": float64(q.batchInserts),
+		"batch_deletes": float64(q.batchDeletes),
 	}
 	if q.descents > 0 {
 		// Every descent traverses log2(nleaves) counters by construction.
@@ -171,4 +183,87 @@ func (q *FunnelTree) DeleteMin(p *sim.Proc) (uint64, bool) {
 	return q.bins[n-q.nleaves].Pop(p)
 }
 
-var _ Queue = (*FunnelTree)(nil)
+// InsertBatch fills every leaf stack first (one central batch per
+// distinct priority), then applies the aggregated counter increments
+// bottom-up with multi-unit funnel adds — see SimpleTree.InsertBatch
+// for why the order keeps reservations sound.
+func (q *FunnelTree) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	runs := batchRuns(items)
+	incs := make(map[int]int64)
+	for _, run := range runs {
+		q.bins[run.pri].PushN(p, run.vals)
+		n := q.nleaves + run.pri
+		for n > 1 {
+			parent := n / 2
+			if n == 2*parent {
+				incs[parent] += int64(len(run.vals))
+			}
+			n = parent
+		}
+	}
+	nodes := make([]int, 0, len(incs))
+	for n := range incs {
+		nodes = append(nodes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nodes)))
+	for _, n := range nodes {
+		q.increments += incs[n]
+		q.counters[n].AddN(p, incs[n])
+	}
+}
+
+// DeleteMinBatch reserves up to k items in one root-to-leaf pass using
+// multi-unit bounded decrements. Reserved items may transiently be
+// unavailable when a racing insert has raised counters ahead of its
+// push landing — the quiescent-consistency relaxation the funnel tree
+// already accepts for single deletes — so the batch may run short; the
+// books rebalance as those pushes land.
+func (q *FunnelTree) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	q.descents++
+	var out []BatchItem
+	q.takeBatch(p, 1, k, &out)
+	return out
+}
+
+// takeBatch collects up to want items from the subtree rooted at n,
+// reporting how many it delivered.
+func (q *FunnelTree) takeBatch(p *sim.Proc, n, want int, out *[]BatchItem) int {
+	if want <= 0 {
+		return 0
+	}
+	if n >= q.nleaves {
+		pri := n - q.nleaves
+		vals := q.bins[pri].PopN(p, want)
+		for _, v := range vals {
+			*out = append(*out, BatchItem{Pri: pri, Val: v})
+		}
+		return len(vals)
+	}
+	left := int64(want)
+	if prev := q.counters[n].BSubN(p, left); int64(prev) < left {
+		left = int64(prev)
+	}
+	got := 0
+	if left > 0 {
+		got = q.takeBatch(p, 2*n, int(left), out)
+	} else {
+		q.rightTurns++
+	}
+	if got < want {
+		got += q.takeBatch(p, 2*n+1, want-got, out)
+	}
+	return got
+}
+
+var (
+	_ Queue      = (*FunnelTree)(nil)
+	_ BatchQueue = (*FunnelTree)(nil)
+)

@@ -10,9 +10,11 @@ type LinearFunnels struct {
 	bins []*FunnelStack
 
 	// Host-side internals counters (no simulated cost).
-	scans       int64 // DeleteMin calls
-	scannedBins int64 // bins examined across all scans
-	failedScans int64 // scans that reached the end without an item
+	scans        int64 // DeleteMin calls
+	scannedBins  int64 // bins examined across all scans
+	failedScans  int64 // scans that reached the end without an item
+	batchInserts int64 // InsertBatch calls
+	batchDeletes int64 // DeleteMinBatch calls
 }
 
 // NewLinearFunnels builds the queue with npri funnel stacks.
@@ -43,9 +45,11 @@ func (q *LinearFunnels) NumPriorities() int { return len(q.bins) }
 // rates are the mechanism behind this queue's scaling.
 func (q *LinearFunnels) Metrics() Metrics {
 	m := Metrics{
-		"scans":        float64(q.scans),
-		"scanned_bins": float64(q.scannedBins),
-		"failed_scans": float64(q.failedScans),
+		"scans":         float64(q.scans),
+		"scanned_bins":  float64(q.scannedBins),
+		"failed_scans":  float64(q.failedScans),
+		"batch_inserts": float64(q.batchInserts),
+		"batch_deletes": float64(q.batchDeletes),
 	}
 	if q.scans > 0 {
 		m["scan_len_mean"] = float64(q.scannedBins) / float64(q.scans)
@@ -79,4 +83,46 @@ func (q *LinearFunnels) DeleteMin(p *sim.Proc) (uint64, bool) {
 	return 0, false
 }
 
-var _ Queue = (*LinearFunnels)(nil)
+// InsertBatch groups the batch by priority and applies each stack's
+// share as one central batch.
+func (q *LinearFunnels) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	for _, run := range batchRuns(items) {
+		q.bins[run.pri].PushN(p, run.vals)
+	}
+}
+
+// DeleteMinBatch scans stacks from the smallest priority, draining each
+// non-empty stack as one central batch until k items are collected.
+func (q *LinearFunnels) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	q.scans++
+	var out []BatchItem
+	for pri, b := range q.bins {
+		q.scannedBins++
+		if b.Empty(p) {
+			continue
+		}
+		for _, v := range b.PopN(p, k-len(out)) {
+			out = append(out, BatchItem{Pri: pri, Val: v})
+		}
+		if len(out) == k {
+			return out
+		}
+	}
+	if len(out) == 0 {
+		q.failedScans++
+	}
+	return out
+}
+
+var (
+	_ Queue      = (*LinearFunnels)(nil)
+	_ BatchQueue = (*LinearFunnels)(nil)
+)

@@ -10,9 +10,11 @@ type SimpleLinear struct {
 	bins []*Bin
 
 	// Host-side internals counters (no simulated cost).
-	scans       int64 // DeleteMin calls
-	scannedBins int64 // bins examined across all scans
-	failedScans int64 // scans that reached the end without an item
+	scans        int64 // DeleteMin calls
+	scannedBins  int64 // bins examined across all scans
+	failedScans  int64 // scans that reached the end without an item
+	batchInserts int64 // InsertBatch calls
+	batchDeletes int64 // DeleteMinBatch calls
 }
 
 // NewSimpleLinear builds the queue with npri bins of capacity maxItems.
@@ -32,9 +34,11 @@ func (q *SimpleLinear) NumPriorities() int { return len(q.bins) }
 // queue's sensitivity to the priority range.
 func (q *SimpleLinear) Metrics() Metrics {
 	m := Metrics{
-		"scans":        float64(q.scans),
-		"scanned_bins": float64(q.scannedBins),
-		"failed_scans": float64(q.failedScans),
+		"scans":         float64(q.scans),
+		"scanned_bins":  float64(q.scannedBins),
+		"failed_scans":  float64(q.failedScans),
+		"batch_inserts": float64(q.batchInserts),
+		"batch_deletes": float64(q.batchDeletes),
 	}
 	if q.scans > 0 {
 		m["scan_len_mean"] = float64(q.scannedBins) / float64(q.scans)
@@ -67,4 +71,46 @@ func (q *SimpleLinear) DeleteMin(p *sim.Proc) (uint64, bool) {
 	return 0, false
 }
 
-var _ Queue = (*SimpleLinear)(nil)
+// InsertBatch groups the batch by priority and fills each bin with one
+// lock hold per distinct priority.
+func (q *SimpleLinear) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	for _, run := range batchRuns(items) {
+		q.bins[run.pri].InsertN(p, run.vals)
+	}
+}
+
+// DeleteMinBatch scans bins from the smallest priority, draining each
+// non-empty bin under one lock hold until k items are collected.
+func (q *SimpleLinear) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	q.scans++
+	var out []BatchItem
+	for pri, b := range q.bins {
+		q.scannedBins++
+		if b.Empty(p) {
+			continue
+		}
+		for _, v := range b.DeleteN(p, k-len(out)) {
+			out = append(out, BatchItem{Pri: pri, Val: v})
+		}
+		if len(out) == k {
+			return out
+		}
+	}
+	if len(out) == 0 {
+		q.failedScans++
+	}
+	return out
+}
+
+var (
+	_ Queue      = (*SimpleLinear)(nil)
+	_ BatchQueue = (*SimpleLinear)(nil)
+)

@@ -1,6 +1,10 @@
 package simpq
 
-import "pq/internal/sim"
+import (
+	"sort"
+
+	"pq/internal/sim"
+)
 
 // SimpleTree is the paper's Figure 3 queue: a complete binary tree with
 // one bin per leaf (priority) and a shared counter in each internal node
@@ -18,9 +22,11 @@ type SimpleTree struct {
 	bins     []*Bin     // one per leaf
 
 	// Host-side internals counters (no simulated cost).
-	descents   int64 // DeleteMin root-to-leaf traversals
-	rightTurns int64 // descent steps that found a zero counter (went right)
-	increments int64 // counter increments performed by inserts
+	descents     int64 // DeleteMin root-to-leaf traversals
+	rightTurns   int64 // descent steps that found a zero counter (went right)
+	increments   int64 // counter increments performed by inserts
+	batchInserts int64 // InsertBatch calls
+	batchDeletes int64 // DeleteMinBatch calls
 }
 
 // NewSimpleTree builds the tree queue with npri priorities and per-bin
@@ -50,9 +56,11 @@ func (q *SimpleTree) NumPriorities() int { return q.npri }
 // serialization is the mechanism the funnel tree removes.
 func (q *SimpleTree) Metrics() Metrics {
 	m := Metrics{
-		"descents":    float64(q.descents),
-		"right_turns": float64(q.rightTurns),
-		"increments":  float64(q.increments),
+		"descents":      float64(q.descents),
+		"right_turns":   float64(q.rightTurns),
+		"increments":    float64(q.increments),
+		"batch_inserts": float64(q.batchInserts),
+		"batch_deletes": float64(q.batchDeletes),
 	}
 	if q.descents > 0 {
 		// Every descent traverses log2(nleaves) counters by construction.
@@ -110,7 +118,88 @@ func (q *SimpleTree) DeleteMin(p *sim.Proc) (uint64, bool) {
 	return q.bins[n-q.nleaves].Delete(p)
 }
 
-var _ Queue = (*SimpleTree)(nil)
+// InsertBatch fills every leaf bin first (one lock hold per distinct
+// priority), then applies the aggregated counter increments bottom-up —
+// deepest nodes first, so every counter reservation a concurrent
+// descent wins is already backed by the counters and bins below it,
+// exactly as single inserts guarantee by ascending.
+func (q *SimpleTree) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	runs := batchRuns(items)
+	incs := make(map[int]uint64)
+	for _, run := range runs {
+		q.bins[run.pri].InsertN(p, run.vals)
+		n := q.nleaves + run.pri
+		for n > 1 {
+			parent := n / 2
+			if n == 2*parent {
+				incs[parent] += uint64(len(run.vals))
+			}
+			n = parent
+		}
+	}
+	nodes := make([]int, 0, len(incs))
+	for n := range incs {
+		nodes = append(nodes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nodes)))
+	for _, n := range nodes {
+		q.increments += int64(incs[n])
+		q.counters[n].AddN(p, incs[n])
+	}
+}
+
+// DeleteMinBatch reserves up to k items in one root-to-leaf pass using
+// multi-unit bounded decrements: each counter yields min(want, value)
+// to the left subtree and the remainder is sought on the right.
+func (q *SimpleTree) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	q.descents++
+	var out []BatchItem
+	q.takeBatch(p, 1, k, &out)
+	return out
+}
+
+// takeBatch collects up to want items from the subtree rooted at n,
+// reporting how many it delivered.
+func (q *SimpleTree) takeBatch(p *sim.Proc, n, want int, out *[]BatchItem) int {
+	if want <= 0 {
+		return 0
+	}
+	if n >= q.nleaves {
+		pri := n - q.nleaves
+		vals := q.bins[pri].DeleteN(p, want)
+		for _, v := range vals {
+			*out = append(*out, BatchItem{Pri: pri, Val: v})
+		}
+		return len(vals)
+	}
+	left := uint64(want)
+	if prev := q.counters[n].BSubN(p, left, 0); prev < left {
+		left = prev
+	}
+	got := 0
+	if left > 0 {
+		got = q.takeBatch(p, 2*n, int(left), out)
+	} else {
+		q.rightTurns++
+	}
+	if got < want {
+		got += q.takeBatch(p, 2*n+1, want-got, out)
+	}
+	return got
+}
+
+var (
+	_ Queue      = (*SimpleTree)(nil)
+	_ BatchQueue = (*SimpleTree)(nil)
+)
 
 // ceilPow2 returns the smallest power of two >= n (and at least 1).
 func ceilPow2(n int) int {

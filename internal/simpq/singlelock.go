@@ -12,6 +12,10 @@ type SingleLock struct {
 	pris sim.Addr // 1-based array of priorities
 	vals sim.Addr // 1-based array of values
 	cap  int
+
+	// Host-side internals counters (no simulated cost).
+	batchInserts int64 // InsertBatch calls
+	batchDeletes int64 // DeleteMinBatch calls
 }
 
 // NewSingleLock builds the heap with room for maxItems elements.
@@ -36,7 +40,10 @@ func (q *SingleLock) NumPriorities() int { return q.npri }
 // Metrics reports the global lock's acquire/wait/hold counters — the
 // convoy behind this baseline's flat-at-best scaling curve.
 func (q *SingleLock) Metrics() Metrics {
-	m := Metrics{}
+	m := Metrics{
+		"batch_inserts": float64(q.batchInserts),
+		"batch_deletes": float64(q.batchDeletes),
+	}
 	m.add("lock", q.lock.Metrics())
 	return m
 }
@@ -48,14 +55,12 @@ func (q *SingleLock) set(p *sim.Proc, i, pr, v uint64) {
 	p.Write(q.vals+sim.Addr(i), v)
 }
 
-// Insert adds val at priority pri under the global lock, sifting it up
-// with the standard heap algorithm.
-func (q *SingleLock) Insert(p *sim.Proc, pri int, val uint64) {
-	q.lock.Acquire(p)
+// insertLocked sifts val up from a new last slot; the caller holds the
+// global lock.
+func (q *SingleLock) insertLocked(p *sim.Proc, pri int, val uint64) {
 	n := p.Read(q.size)
 	if n >= uint64(q.cap) {
-		q.lock.Release(p) // full: drop, mirroring the paper's bins
-		return
+		return // full: drop, mirroring the paper's bins
 	}
 	n++
 	p.Write(q.size, n)
@@ -70,19 +75,16 @@ func (q *SingleLock) Insert(p *sim.Proc, pri int, val uint64) {
 		i = parent
 	}
 	q.set(p, i, pr, val)
-	q.lock.Release(p)
 }
 
-// DeleteMin removes the root under the global lock and restores the heap
-// by sifting the last element down.
-func (q *SingleLock) DeleteMin(p *sim.Proc) (uint64, bool) {
-	q.lock.Acquire(p)
+// deleteMinLocked removes the root and restores the heap by sifting the
+// last element down; the caller holds the global lock.
+func (q *SingleLock) deleteMinLocked(p *sim.Proc) (int, uint64, bool) {
 	n := p.Read(q.size)
 	if n == 0 {
-		q.lock.Release(p)
-		return 0, false
+		return 0, 0, false
 	}
-	out := q.val(p, 1)
+	outPri, out := q.pri(p, 1), q.val(p, 1)
 	lastPri, lastVal := q.pri(p, n), q.val(p, n)
 	p.Write(q.size, n-1)
 	n--
@@ -107,8 +109,60 @@ func (q *SingleLock) DeleteMin(p *sim.Proc) (uint64, bool) {
 		}
 		q.set(p, i, lastPri, lastVal)
 	}
-	q.lock.Release(p)
-	return out, true
+	return int(outPri), out, true
 }
 
-var _ Queue = (*SingleLock)(nil)
+// Insert adds val at priority pri under the global lock, sifting it up
+// with the standard heap algorithm.
+func (q *SingleLock) Insert(p *sim.Proc, pri int, val uint64) {
+	q.lock.Acquire(p)
+	q.insertLocked(p, pri, val)
+	q.lock.Release(p)
+}
+
+// DeleteMin removes the root under the global lock and restores the heap
+// by sifting the last element down.
+func (q *SingleLock) DeleteMin(p *sim.Proc) (uint64, bool) {
+	q.lock.Acquire(p)
+	_, out, ok := q.deleteMinLocked(p)
+	q.lock.Release(p)
+	return out, ok
+}
+
+// InsertBatch adds every item under a single lock hold — the whole
+// batch pays one MCS handoff instead of one per element.
+func (q *SingleLock) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	q.lock.Acquire(p)
+	for _, it := range items {
+		q.insertLocked(p, it.Pri, it.Val)
+	}
+	q.lock.Release(p)
+}
+
+// DeleteMinBatch removes up to k items under a single lock hold.
+func (q *SingleLock) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	var out []BatchItem
+	q.lock.Acquire(p)
+	for len(out) < k {
+		pri, v, ok := q.deleteMinLocked(p)
+		if !ok {
+			break
+		}
+		out = append(out, BatchItem{Pri: pri, Val: v})
+	}
+	q.lock.Release(p)
+	return out
+}
+
+var (
+	_ Queue      = (*SingleLock)(nil)
+	_ BatchQueue = (*SingleLock)(nil)
+)

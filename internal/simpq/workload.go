@@ -38,6 +38,12 @@ type WorkloadConfig struct {
 	// StallCycles is the stall length (default 10x RemoteCost when
 	// StallEvery is set).
 	StallCycles int64
+	// Batch sets the operations per queue access: each of the OpsPerProc
+	// accesses becomes one InsertBatch/DeleteMinBatch call of this many
+	// elements (0 and 1 both mean plain single operations). Latency
+	// samples and the Inserts/Deletes totals count individual elements,
+	// so results stay comparable across batch sizes.
+	Batch int
 }
 
 // DefaultWorkload returns the configuration used for the paper's queue
@@ -63,6 +69,10 @@ func (cfg WorkloadConfig) Validate() error {
 		return fmt.Errorf("simpq: StallEvery must be >= 0, got %d (use 0 to disable stalls)", cfg.StallEvery)
 	case cfg.StallCycles < 0:
 		return fmt.Errorf("simpq: StallCycles must be >= 0, got %d (use 0 for the default stall length)", cfg.StallCycles)
+	case cfg.Batch < 0:
+		return fmt.Errorf("simpq: Batch must be >= 0, got %d (use 0 or 1 for single operations)", cfg.Batch)
+	case cfg.Batch > 1024:
+		return fmt.Errorf("simpq: Batch must be <= 1024, got %d", cfg.Batch)
 	}
 	return nil
 }
@@ -172,6 +182,9 @@ func WorkloadOnMachine(alg Algorithm, npri int, cfg WorkloadConfig, simCfg sim.C
 		return Result{}, nil, err
 	}
 	maxItems := procs*cfg.OpsPerProc + cfg.Prefill + 1
+	if cfg.Batch > 1 {
+		maxItems = procs*cfg.OpsPerProc*cfg.Batch + cfg.Prefill + 1
+	}
 	q := Build(alg, m, npri, maxItems)
 	r, err := DriveWorkload(m, q, cfg)
 	if err != nil {
@@ -214,6 +227,11 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 		if cfg.StallEvery > 0 && stall == 0 {
 			stall = 10 * sim.DefaultRemoteCost
 		}
+		batch := cfg.Batch
+		if batch < 1 {
+			batch = 1
+		}
+		var items []BatchItem
 		for i := 0; i < cfg.OpsPerProc; i++ {
 			p.LocalWork(cfg.LocalWork)
 			if cfg.StallEvery > 0 && (i+id)%cfg.StallEvery == cfg.StallEvery-1 {
@@ -221,25 +239,47 @@ func DriveWorkload(m *sim.Machine, q Queue, cfg WorkloadConfig) (Result, error) 
 			}
 			start := p.Now()
 			if float64(p.Rand(1<<16))/(1<<16) < cfg.InsertFraction {
-				q.Insert(p, p.Rand(npri), uint64(id)<<32|uint64(i))
+				if batch == 1 {
+					q.Insert(p, p.Rand(npri), uint64(id)<<32|uint64(i))
+				} else {
+					items = items[:0]
+					for j := 0; j < batch; j++ {
+						items = append(items, BatchItem{
+							Pri: p.Rand(npri),
+							Val: uint64(id)<<32 | uint64(i*batch+j),
+						})
+					}
+					InsertBatch(p, q, items)
+				}
 				p.OpSpan("insert", start)
 				lat := p.Now() - start
 				t.insertCycles += lat
-				t.inserts++
+				t.inserts += batch
 				if cfg.KeepLatencies {
-					t.insLat = append(t.insLat, float64(lat))
+					per := float64(lat) / float64(batch)
+					for j := 0; j < batch; j++ {
+						t.insLat = append(t.insLat, per)
+					}
 				}
 			} else {
-				_, ok := q.DeleteMin(p)
+				failed := 0
+				if batch == 1 {
+					if _, ok := q.DeleteMin(p); !ok {
+						failed = 1
+					}
+				} else {
+					failed = batch - len(DeleteMinBatch(p, q, batch))
+				}
 				p.OpSpan("deletemin", start)
 				lat := p.Now() - start
 				t.deleteCycles += lat
-				t.deletes++
-				if !ok {
-					t.failed++
-				}
+				t.deletes += batch
+				t.failed += failed
 				if cfg.KeepLatencies {
-					t.delLat = append(t.delLat, float64(lat))
+					per := float64(lat) / float64(batch)
+					for j := 0; j < batch; j++ {
+						t.delLat = append(t.delLat, per)
+					}
 				}
 			}
 			p.OpDone()

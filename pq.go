@@ -51,6 +51,48 @@ type Queue[V any] interface {
 	NumPriorities() int
 }
 
+// Item pairs a priority with a value — the unit of batch operations.
+type Item[V any] = core.Item[V]
+
+// BatchQueue extends Queue with native batch operations that amortize
+// synchronization over many items: one lock hold, skip-list descent,
+// funnel traversal or multi-unit counter RMW covers a whole batch
+// instead of one per item. Every queue built by New implements it.
+type BatchQueue[V any] = core.BatchQueue[V]
+
+// InsertBatch adds every item to q, using its native batch fast path
+// when it has one (every queue built by New does) and falling back to
+// one Insert per item for external Queue implementations.
+func InsertBatch[V any](q Queue[V], items []Item[V]) {
+	if bq, ok := q.(BatchQueue[V]); ok {
+		bq.InsertBatch(items)
+		return
+	}
+	for _, it := range items {
+		q.Insert(it.Pri, it.Val)
+	}
+}
+
+// DeleteMinBatch removes up to k items from q, using its native batch
+// fast path when it has one. Fewer than k items means the queue ran dry
+// (or appeared to, under contention) partway through. In the fallback
+// path for external Queue implementations, DeleteMin does not report
+// priorities, so returned items carry Pri = -1.
+func DeleteMinBatch[V any](q Queue[V], k int) []Item[V] {
+	if bq, ok := q.(BatchQueue[V]); ok {
+		return bq.DeleteMinBatch(k)
+	}
+	var out []Item[V]
+	for len(out) < k {
+		v, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		out = append(out, Item[V]{Pri: -1, Val: v})
+	}
+	return out
+}
+
 // Algorithm selects a queue implementation.
 type Algorithm = core.Algorithm
 
