@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt pqd pqload loadtest-quick
+.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt pqd pqload loadtest-quick loadtest-durable
 
 all: build test
 
@@ -59,6 +59,12 @@ pqload:
 # admission-control shedding, graceful SIGTERM exit (~seconds).
 loadtest-quick:
 	GO="$(GO)" sh ./scripts/loadtest_quick.sh
+
+# Durable vs in-memory comparison: the same pqload workload against an
+# in-memory pqd and a WAL-backed one (-fsync interval), merged into one
+# bench file; fails if durable throughput falls below half of memory.
+loadtest-durable:
+	GO="$(GO)" sh ./scripts/loadtest_durable.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -12,6 +12,12 @@
 // inserts with RETRY_AFTER while delete-mins keep working, and the
 // daemon exits when clients disconnect (or the drain timeout forces
 // the issue).
+//
+// With -data-dir set, every queue keeps a write-ahead log under
+// <data-dir>/<queue> and survives crashes: acked inserts are on the
+// log before the ack (-fsync always), boot replays snapshot + log
+// tail, and a graceful shutdown seals the log so the next boot is a
+// pure snapshot load. See the README's Durability section.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"pq"
 	"pq/internal/server"
+	"pq/internal/wal"
 )
 
 func main() {
@@ -46,6 +53,11 @@ func run(args []string) error {
 		conc         = fs.Int("concurrency", 0, "expected contending connections (sizes funnels; 0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
 		quiet        = fs.Bool("q", false, "suppress serving diagnostics")
+
+		dataDir       = fs.String("data-dir", "", "write-ahead log directory; empty serves in-memory only")
+		fsyncMode     = fs.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		fsyncInterval = fs.Duration("fsync-interval", 10*time.Millisecond, "flush period for -fsync interval")
+		snapshotEvery = fs.Int("snapshot-every", 100000, "snapshot after this many log records (<0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +65,12 @@ func run(args []string) error {
 	specs, err := parseQueueSpecs(*queues)
 	if err != nil {
 		return err
+	}
+	var fsyncPolicy wal.SyncPolicy
+	if *dataDir != "" {
+		if fsyncPolicy, err = wal.ParseSyncPolicy(*fsyncMode); err != nil {
+			return err
+		}
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -64,6 +82,10 @@ func run(args []string) error {
 		RetryAfterMillis: *retryMillis,
 		Concurrency:      *conc,
 		Logf:             logf,
+		DataDir:          *dataDir,
+		Fsync:            fsyncPolicy,
+		FsyncInterval:    *fsyncInterval,
+		SnapshotEvery:    *snapshotEvery,
 	})
 	for _, spec := range specs {
 		if err := srv.AddQueue(spec); err != nil {
@@ -71,6 +93,13 @@ func run(args []string) error {
 		}
 		logf("pqd: queue %q: %s pris=%d shards=%d capacity=%d",
 			spec.Name, spec.Algorithm, spec.Priorities, spec.Shards, spec.Capacity)
+		if *dataDir != "" {
+			if st, ok := srv.QueueStats(spec.Name); ok && st.Durability != nil {
+				logf("pqd: queue %q: durable (fsync=%s, recovered=%d items, replayed=%d records, torn=%v)",
+					spec.Name, st.Durability.FsyncPolicy, st.Durability.RecoveredItems,
+					st.Durability.ReplayedRecords, st.Durability.TornTail)
+			}
+		}
 	}
 
 	sigs := make(chan os.Signal, 1)

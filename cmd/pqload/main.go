@@ -40,16 +40,17 @@ func main() {
 }
 
 type options struct {
-	addr      string
-	queue     string
-	workers   int
-	conns     int
-	duration  time.Duration
-	mix       float64
-	rate      float64
-	valueSize int
-	jsonPath  string
-	drain     bool
+	addr       string
+	queue      string
+	workers    int
+	conns      int
+	duration   time.Duration
+	mix        float64
+	rate       float64
+	valueSize  int
+	jsonPath   string
+	appendJSON bool
+	drain      bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -64,6 +65,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.rate, "rate", 0, "target ops/sec across all workers (0 = closed loop)")
 	fs.IntVar(&o.valueSize, "value-size", 8, "value bytes per item (min 8; carries the item id)")
 	fs.StringVar(&o.jsonPath, "json", "", "write pq-bench/v1 JSON here (\"-\" = stdout)")
+	fs.BoolVar(&o.appendJSON, "append", false, "merge this run into an existing -json file (durable vs in-memory comparisons)")
 	fs.BoolVar(&o.drain, "drain", true, "drain the queue after the run and check conservation")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -261,8 +263,42 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "  delete ns    %s\n", delSum)
 	fmt.Fprintf(out, "  server       inserts=%d deletes=%d shed=%d size=%d\n",
 		stFinal.Inserts, stFinal.Deletes, stFinal.RetryAfter, stFinal.Size)
+	if d := stFinal.Durability; d != nil {
+		fmt.Fprintf(out, "  durability   fsync=%s appends=%d fsyncs=%d wal_bytes=%d segments=%d snapshots=%d\n",
+			d.FsyncPolicy, d.Appends, d.Fsyncs, d.WALBytes, d.Segments, d.Snapshots)
+	}
 
 	if o.jsonPath != "" {
+		// A durable queue gets a distinct algorithm label ("+wal") so its
+		// run can share one service-suite file with the in-memory run —
+		// that merged file IS the durable-vs-memory comparison.
+		algLabel := "pqd/" + stFinal.Algorithm
+		internals := map[string]float64{
+			"client_sheds":       float64(total.sheds),
+			"drained":            float64(drained),
+			"server_retry_after": float64(stFinal.RetryAfter),
+			"server_shards":      float64(stFinal.Shards),
+			"server_capacity":    float64(stFinal.Capacity),
+		}
+		if d := stFinal.Durability; d != nil {
+			algLabel += "+wal"
+			internals["wal_appends"] = float64(d.Appends)
+			internals["wal_fsyncs"] = float64(d.Fsyncs)
+			internals["wal_bytes"] = float64(d.WALBytes)
+			internals["wal_segments"] = float64(d.Segments)
+			internals["wal_snapshots"] = float64(d.Snapshots)
+		}
+		run := harness.BenchRun{
+			Algorithm:           algLabel,
+			Procs:               o.workers,
+			Inserts:             total.acked,
+			Deletes:             total.deletes,
+			FailedDeletes:       total.empties,
+			ThroughputOpsPerSec: thr,
+			Insert:              harness.LatencyFromSummary(insSum),
+			Delete:              harness.LatencyFromSummary(delSum),
+			Internals:           internals,
+		}
 		bf := &harness.BenchFile{
 			Schema:     harness.BenchSchema,
 			Suite:      harness.SuiteService,
@@ -270,24 +306,18 @@ func run(args []string, out *os.File) error {
 			Procs:      o.workers,
 			Priorities: pris,
 			Scale:      1,
-			Runs: []harness.BenchRun{{
-				Algorithm:           "pqd/" + stFinal.Algorithm,
-				Procs:               o.workers,
-				Inserts:             total.acked,
-				Deletes:             total.deletes,
-				FailedDeletes:       total.empties,
-				ThroughputOpsPerSec: thr,
-				Insert:              harness.LatencyFromSummary(insSum),
-				Delete:              harness.LatencyFromSummary(delSum),
-				Internals: map[string]float64{
-					"client_sheds":       float64(total.sheds),
-					"drained":            float64(drained),
-					"server_retry_after": float64(stFinal.RetryAfter),
-					"server_shards":      float64(stFinal.Shards),
-					"server_capacity":    float64(stFinal.Capacity),
-				},
-			}},
 		}
+		if o.appendJSON && o.jsonPath != "-" {
+			if prev, err := os.ReadFile(o.jsonPath); err == nil {
+				if err := json.Unmarshal(prev, bf); err != nil {
+					return fmt.Errorf("-append: %s is not a bench file: %w", o.jsonPath, err)
+				}
+				bf.Generated = time.Now().UTC().Format(time.RFC3339)
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("-append: %w", err)
+			}
+		}
+		bf.Runs = append(bf.Runs, run)
 		if err := bf.Validate(); err != nil {
 			return fmt.Errorf("generated JSON does not validate: %w", err)
 		}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pq"
+	"pq/internal/wal"
+	"pq/internal/wire"
+)
+
+// Durable serving: when a queue has a WAL attached, every mutation is
+// made a logical log record *before* it is acknowledged (append-before-
+// ack), and pops log the durable ids of the exact items that left the
+// queue — not "a delete happened" — so replay is independent of the
+// quiescently consistent order in which overlapping operations really
+// hit the shards.
+//
+// Tagged-value layout: in-memory queues store pri(4)+value; durable
+// queues store pri(4)+id(8)+value. The priority prefix stays first so
+// the shared putBack/shardFor helpers work on either layout.
+
+// durTagLen is the tag prefix of a durable queue's stored values.
+const durTagLen = 12
+
+// attachWAL wires a recovered log into a freshly built queue: the
+// recovered live-item multiset is bulk-loaded into the shards (taking
+// admission slots, since those items occupy capacity) and subsequent
+// operations go through the durable paths. Must be called before the
+// queue serves traffic.
+func (q *servedQueue) attachWAL(l *wal.Log, rec wal.Recovery, snapEvery int) error {
+	byShard := make(map[int][]pq.Item[[]byte])
+	for _, it := range rec.Items {
+		pri := int(it.Pri)
+		if pri < 0 || pri >= q.spec.Priorities {
+			return fmt.Errorf("server: queue %q: recovered item id=%d priority %d outside [0,%d) — was the queue reconfigured?",
+				q.spec.Name, it.ID, pri, q.spec.Priorities)
+		}
+		s := q.shardFor(pri)
+		byShard[s] = append(byShard[s], pq.Item[[]byte]{Pri: pri - q.bases[s], Val: durTag(it.ID, it.Pri, it.Value)})
+	}
+	q.wal = l
+	q.tagLen = durTagLen
+	q.snapEvery = snapEvery
+	for s, batch := range byShard {
+		pq.InsertBatch(q.shards[s], batch)
+	}
+	if n := int64(len(rec.Items)); n > 0 {
+		q.inserts.Add(n)
+		if q.admit != nil {
+			q.admit.AddN(n) // recovered items occupy admission capacity
+		}
+	}
+	return nil
+}
+
+// durTag builds the stored value for one durable item.
+func durTag(id uint64, pri uint32, value []byte) []byte {
+	tagged := make([]byte, durTagLen+len(value))
+	binary.BigEndian.PutUint32(tagged, pri)
+	binary.BigEndian.PutUint64(tagged[4:], id)
+	copy(tagged[durTagLen:], value)
+	return tagged
+}
+
+func durID(tagged []byte) uint64 { return binary.BigEndian.Uint64(tagged[4:12]) }
+
+// insertDurable is the WAL insert path: reserve admission, log, then
+// store. The read-lock spans log append and shard insert so a snapshot
+// (which takes the write lock) never observes a logged-but-unstored or
+// stored-but-unlogged item.
+func (q *servedQueue) insertDurable(it wire.Item) (insertStatus, error) {
+	pri := int(it.Pri)
+	if pri < 0 || pri >= q.spec.Priorities {
+		return insBad, nil
+	}
+	if q.draining.Load() {
+		q.retryAfter.Add(1)
+		return insShed, nil
+	}
+	if q.admit != nil {
+		if prev := q.admit.BFaI(); prev >= q.spec.Capacity {
+			q.retryAfter.Add(1)
+			return insShed, nil
+		}
+	}
+	q.durMu.RLock()
+	defer q.durMu.RUnlock()
+	id := q.wal.AllocIDs(1)
+	if err := q.wal.AppendInsert([]wal.Item{{ID: id, Pri: it.Pri, Value: it.Value}}); err != nil {
+		if q.admit != nil {
+			q.admit.FaD() // release the reserved slot
+		}
+		return insErr, err
+	}
+	s := q.shardFor(pri)
+	q.shards[s].Insert(pri-q.bases[s], durTag(id, it.Pri, it.Value))
+	q.inserts.Add(1)
+	q.maybeSnapshot()
+	return insOK, nil
+}
+
+// insertBatchDurable logs the whole admitted prefix as one record, then
+// fans out to the shards' native batch inserts.
+func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	if q.draining.Load() {
+		q.retryAfter.Add(int64(len(items)))
+		return 0, nil
+	}
+	accepted := len(items)
+	if q.admit != nil {
+		prev := q.admit.AddN(int64(len(items)))
+		granted := q.spec.Capacity - prev
+		if granted < 0 {
+			granted = 0
+		}
+		if granted > int64(len(items)) {
+			granted = int64(len(items))
+		}
+		accepted = int(granted)
+		if rej := len(items) - accepted; rej > 0 {
+			q.retryAfter.Add(int64(rej))
+		}
+		if accepted == 0 {
+			return 0, nil
+		}
+	}
+	q.durMu.RLock()
+	defer q.durMu.RUnlock()
+	first := q.wal.AllocIDs(accepted)
+	recs := make([]wal.Item, accepted)
+	for i, it := range items[:accepted] {
+		recs[i] = wal.Item{ID: first + uint64(i), Pri: it.Pri, Value: it.Value}
+	}
+	if err := q.wal.AppendInsert(recs); err != nil {
+		if q.admit != nil {
+			q.admit.SubN(int64(accepted))
+		}
+		return 0, err
+	}
+	byShard := make(map[int][]pq.Item[[]byte])
+	for _, r := range recs {
+		pri := int(r.Pri)
+		s := q.shardFor(pri)
+		byShard[s] = append(byShard[s], pq.Item[[]byte]{Pri: pri - q.bases[s], Val: durTag(r.ID, r.Pri, r.Value)})
+	}
+	for s, batch := range byShard {
+		pq.InsertBatch(q.shards[s], batch)
+	}
+	q.inserts.Add(int64(accepted))
+	q.maybeSnapshot()
+	return accepted, nil
+}
+
+// deleteMinDurable pops, logs the departure, then acknowledges. A log
+// failure puts the item back: nothing leaves the queue unrecorded.
+func (q *servedQueue) deleteMinDurable() (wire.Item, bool, error) {
+	q.durMu.RLock()
+	defer q.durMu.RUnlock()
+	v, ok := q.popRaw()
+	if !ok {
+		q.emptyDeletes.Add(1)
+		return wire.Item{}, false, nil
+	}
+	if err := q.wal.AppendDelete([]uint64{durID(v)}); err != nil {
+		q.putBack(v)
+		return wire.Item{}, false, err
+	}
+	q.popCommit()
+	q.maybeSnapshot()
+	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[durTagLen:]}, true, nil
+}
+
+// deleteMinBatchDurable mirrors deleteMinBatch's shard scan and byte
+// budget, but defers the admission commit until a single delete record
+// covering every kept item is durable; a log failure puts everything
+// back un-popped.
+func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error) {
+	q.durMu.RLock()
+	defer q.durMu.RUnlock()
+	var (
+		items     []wire.Item
+		ids       []uint64
+		keptShard []int             // shard index per kept item, for rollback
+		kept      []pq.Item[[]byte] // raw kept entries, aligned with keptShard
+		bytes     = 4               // item-count prefix
+	)
+	rollback := func() {
+		byShard := make(map[int][]pq.Item[[]byte])
+		for i, it := range kept {
+			byShard[keptShard[i]] = append(byShard[keptShard[i]], it)
+		}
+		for s, batch := range byShard {
+			q.putBackN(s, batch)
+		}
+	}
+	for si, sub := range q.shards {
+		want := max - len(items)
+		if want <= 0 {
+			break
+		}
+		got := pq.DeleteMinBatch(sub, want)
+		if len(got) == 0 {
+			continue
+		}
+		took := 0
+		for _, item := range got {
+			v := item.Val
+			sz := 8 + len(v) - durTagLen // pri(4) + bloblen(4) + value
+			if len(items) > 0 && bytes+sz > budget {
+				break
+			}
+			bytes += sz
+			items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[durTagLen:]})
+			ids = append(ids, durID(v))
+			kept = append(kept, item)
+			keptShard = append(keptShard, si)
+			took++
+		}
+		if took < len(got) {
+			q.putBackN(si, got[took:])
+			break
+		}
+	}
+	if len(items) == 0 {
+		q.emptyDeletes.Add(1)
+		return nil, nil
+	}
+	if err := q.wal.AppendDelete(ids); err != nil {
+		rollback()
+		return nil, err
+	}
+	q.popCommitN(len(items))
+	if len(items) < max {
+		q.emptyDeletes.Add(1)
+	}
+	q.maybeSnapshot()
+	return items, nil
+}
+
+// snapshot quiesces the queue (write lock: every durable operation
+// holds the read lock across its log append and shard mutation) and
+// writes the full live-item set through a non-destructive drain-style
+// iteration: each shard is popped dry via the native batch path and
+// every entry is put back, so the queue is byte-for-byte unchanged
+// afterwards.
+func (q *servedQueue) snapshot() error {
+	if q.wal == nil {
+		return nil
+	}
+	if !q.snapActive.CompareAndSwap(false, true) {
+		return nil // a snapshot is already running
+	}
+	defer q.snapActive.Store(false)
+	q.durMu.Lock()
+	defer q.durMu.Unlock()
+	var items []wal.Item
+	for si, sub := range q.shards {
+		var drained []pq.Item[[]byte]
+		for {
+			got := pq.DeleteMinBatch(sub, 1024)
+			if len(got) == 0 {
+				break
+			}
+			drained = append(drained, got...)
+		}
+		for _, it := range drained {
+			v := it.Val
+			items = append(items, wal.Item{
+				ID:    durID(v),
+				Pri:   binary.BigEndian.Uint32(v),
+				Value: v[durTagLen:],
+			})
+		}
+		if len(drained) > 0 {
+			q.putBackN(si, drained)
+		}
+	}
+	return q.wal.Snapshot(items)
+}
+
+// maybeSnapshot kicks off a background snapshot when the log has grown
+// by snapEvery records since the last one. Called with the read lock
+// held, so the snapshot itself must run asynchronously.
+func (q *servedQueue) maybeSnapshot() {
+	if q.snapEvery <= 0 || q.snapActive.Load() {
+		return
+	}
+	if q.wal.Stats().RecordsSinceSnapshot >= uint64(q.snapEvery) {
+		go q.snapshot()
+	}
+}
+
+// sealWAL takes a final snapshot and closes the log — the graceful-
+// shutdown path. After it, a restart replays zero log records: boot is
+// pure snapshot load.
+func (q *servedQueue) sealWAL() error {
+	if q.wal == nil {
+		return nil
+	}
+	err := q.snapshot()
+	if cerr := q.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

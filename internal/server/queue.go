@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pq"
+	"pq/internal/wal"
 	"pq/internal/wire"
 )
 
@@ -69,6 +71,17 @@ type servedQueue struct {
 	admit    *pq.Counter
 	draining atomic.Bool
 
+	// wal, when non-nil, makes the queue durable (see durable.go).
+	// tagLen is the per-value tag prefix: 4 (priority) in memory, 12
+	// (priority + durable id) with a WAL. durMu lets snapshots quiesce
+	// the durable operation paths; snapEvery triggers automatic
+	// snapshots every that many log records.
+	wal        *wal.Log
+	tagLen     int
+	snapEvery  int
+	durMu      sync.RWMutex
+	snapActive atomic.Bool
+
 	inserts      atomic.Int64
 	deletes      atomic.Int64
 	emptyDeletes atomic.Int64
@@ -79,7 +92,7 @@ func newServedQueue(spec QueueSpec, concurrency int) (*servedQueue, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	q := &servedQueue{spec: spec}
+	q := &servedQueue{spec: spec, tagLen: 4}
 	q.bases = make([]int, spec.Shards+1)
 	for i := 0; i <= spec.Shards; i++ {
 		q.bases[i] = i * spec.Priorities / spec.Shards
@@ -115,24 +128,28 @@ const (
 	insOK   insertStatus = iota // admitted
 	insShed                     // shed by admission control or drain
 	insBad                      // priority out of range (protocol error)
+	insErr                      // durability failure (TError, not shed)
 )
 
 // insert admits and stores one item. Values are stored with a 4-byte
 // global-priority tag so deleteMin can report the priority it served
 // (the native queues only return the value).
-func (q *servedQueue) insert(it wire.Item) insertStatus {
+func (q *servedQueue) insert(it wire.Item) (insertStatus, error) {
+	if q.wal != nil {
+		return q.insertDurable(it)
+	}
 	pri := int(it.Pri)
 	if pri < 0 || pri >= q.spec.Priorities {
-		return insBad
+		return insBad, nil
 	}
 	if q.draining.Load() {
 		q.retryAfter.Add(1)
-		return insShed
+		return insShed, nil
 	}
 	if q.admit != nil {
 		if prev := q.admit.BFaI(); prev >= q.spec.Capacity {
 			q.retryAfter.Add(1)
-			return insShed
+			return insShed, nil
 		}
 	}
 	tagged := make([]byte, 4+len(it.Value))
@@ -141,7 +158,7 @@ func (q *servedQueue) insert(it wire.Item) insertStatus {
 	s := q.shardFor(pri)
 	q.shards[s].Insert(pri-q.bases[s], tagged)
 	q.inserts.Add(1)
-	return insOK
+	return insOK, nil
 }
 
 // popRaw removes the most urgent tagged entry from the shards without
@@ -176,14 +193,17 @@ func (q *servedQueue) popCommit() {
 
 // deleteMin scans shards in priority order and removes the most urgent
 // item found.
-func (q *servedQueue) deleteMin() (wire.Item, bool) {
+func (q *servedQueue) deleteMin() (wire.Item, bool, error) {
+	if q.wal != nil {
+		return q.deleteMinDurable()
+	}
 	v, ok := q.popRaw()
 	if !ok {
 		q.emptyDeletes.Add(1)
-		return wire.Item{}, false
+		return wire.Item{}, false, nil
 	}
 	q.popCommit()
-	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true
+	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true, nil
 }
 
 // insertBatch admits and stores a whole batch: one multi-unit bounded
@@ -192,13 +212,16 @@ func (q *servedQueue) deleteMin() (wire.Item, bool) {
 // path. Priorities must already be validated (the frame handler checks
 // the whole batch up front). It reports how many items were accepted;
 // the remainder were shed.
-func (q *servedQueue) insertBatch(items []wire.Item) int {
+func (q *servedQueue) insertBatch(items []wire.Item) (int, error) {
+	if q.wal != nil {
+		return q.insertBatchDurable(items)
+	}
 	if len(items) == 0 {
-		return 0
+		return 0, nil
 	}
 	if q.draining.Load() {
 		q.retryAfter.Add(int64(len(items)))
-		return 0
+		return 0, nil
 	}
 	accepted := len(items)
 	if q.admit != nil {
@@ -217,7 +240,7 @@ func (q *servedQueue) insertBatch(items []wire.Item) int {
 			q.retryAfter.Add(int64(rej))
 		}
 		if accepted == 0 {
-			return 0
+			return 0, nil
 		}
 	}
 	byShard := make(map[int][]pq.Item[[]byte])
@@ -233,7 +256,7 @@ func (q *servedQueue) insertBatch(items []wire.Item) int {
 		pq.InsertBatch(q.shards[s], batch)
 	}
 	q.inserts.Add(int64(accepted))
-	return accepted
+	return accepted, nil
 }
 
 // putBackN returns entries taken from a shard's DeleteMinBatch to that
@@ -269,13 +292,16 @@ func (q *servedQueue) popCommitN(n int) {
 // wire.MaxValue), so progress is guaranteed: the first pop is always
 // kept. A short result means the queue ran dry or a shard declined
 // under contention; the client just asks again.
-func (q *servedQueue) deleteMinBatch(max, budget int) []wire.Item {
+func (q *servedQueue) deleteMinBatch(max, budget int) ([]wire.Item, error) {
+	if q.wal != nil {
+		return q.deleteMinBatchDurable(max, budget)
+	}
 	var items []wire.Item
 	bytes := 4 // item-count prefix
 	for si, sub := range q.shards {
 		want := max - len(items)
 		if want <= 0 {
-			return items
+			return items, nil
 		}
 		got := pq.DeleteMinBatch(sub, want)
 		if len(got) == 0 {
@@ -296,19 +322,19 @@ func (q *servedQueue) deleteMinBatch(max, budget int) []wire.Item {
 		if kept < len(got) {
 			// Budget exhausted: the remainder goes back exactly once.
 			q.putBackN(si, got[kept:])
-			return items
+			return items, nil
 		}
 	}
 	if len(items) < max {
 		q.emptyDeletes.Add(1)
 	}
-	return items
+	return items, nil
 }
 
 // stats snapshots the serving counters.
 func (q *servedQueue) stats() wire.QueueStats {
 	ins, del := q.inserts.Load(), q.deletes.Load()
-	return wire.QueueStats{
+	st := wire.QueueStats{
 		Queue:        q.spec.Name,
 		Algorithm:    string(q.spec.Algorithm),
 		Priorities:   q.spec.Priorities,
@@ -320,7 +346,26 @@ func (q *servedQueue) stats() wire.QueueStats {
 		RetryAfter:   q.retryAfter.Load(),
 		Size:         ins - del,
 		Draining:     q.draining.Load(),
+		StatsVersion: wire.StatsVersion,
 	}
+	if q.wal != nil {
+		ws := q.wal.Stats()
+		st.Durability = &wire.DurabilityStats{
+			FsyncPolicy:          ws.Policy,
+			LastLSN:              ws.LastLSN,
+			SnapshotLSN:          ws.SnapshotLSN,
+			Segments:             ws.Segments,
+			WALBytes:             ws.WALBytes,
+			Appends:              ws.Appends,
+			Fsyncs:               ws.Syncs,
+			Snapshots:            ws.Snapshots,
+			RecordsSinceSnapshot: ws.RecordsSinceSnapshot,
+			RecoveredItems:       ws.RecoveredItems,
+			ReplayedRecords:      ws.ReplayedRecords,
+			TornTail:             ws.TornTail,
+		}
+	}
+	return st
 }
 
 // size is the approximate queued-item count.

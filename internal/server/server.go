@@ -15,11 +15,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pq/internal/wal"
 	"pq/internal/wire"
 )
 
@@ -37,6 +40,24 @@ type Config struct {
 	Concurrency int
 	// Logf receives serving diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+
+	// DataDir, when set, makes every queue durable: each keeps a
+	// segmented write-ahead log plus snapshots under DataDir/<name>,
+	// inserts are logged before they are acknowledged, pops log the
+	// exact items delivered, and AddQueue replays snapshot + log tail
+	// so a restart reconstructs the queue. Empty disables durability.
+	DataDir string
+	// Fsync is the log's sync policy (see wal.SyncPolicy); the zero
+	// value is wal.SyncAlways, group-committed.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the wal.SyncInterval flush period. Default 10ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery takes an automatic snapshot each time the log grows
+	// by that many records. Default 100000; negative disables automatic
+	// snapshots (graceful shutdown still takes a final one).
+	SnapshotEvery int
+	// SegmentBytes rotates log segments past this size. Default 16 MiB.
+	SegmentBytes int64
 }
 
 func (c *Config) normalize() {
@@ -51,6 +72,9 @@ func (c *Config) normalize() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 100000
 	}
 }
 
@@ -80,15 +104,43 @@ func New(cfg Config) *Server {
 }
 
 // AddQueue registers a queue. It may be called while serving; the name
-// must be unused.
+// must be unused. With Config.DataDir set, the queue's write-ahead log
+// under DataDir/<name> is opened (or created) and its snapshot + log
+// tail are replayed into the fresh queue before it serves traffic.
 func (s *Server) AddQueue(spec QueueSpec) error {
+	if s.cfg.DataDir != "" {
+		if strings.ContainsAny(spec.Name, "/\\") || spec.Name == "." || spec.Name == ".." {
+			return fmt.Errorf("server: durable queue name %q must be a plain directory name", spec.Name)
+		}
+	}
 	q, err := newServedQueue(spec, s.cfg.Concurrency)
 	if err != nil {
 		return err
 	}
+	if s.cfg.DataDir != "" {
+		l, rec, err := wal.Open(wal.Options{
+			Dir:          filepath.Join(s.cfg.DataDir, spec.Name),
+			Policy:       s.cfg.Fsync,
+			Interval:     s.cfg.FsyncInterval,
+			SegmentBytes: s.cfg.SegmentBytes,
+			Logf:         s.cfg.Logf,
+		})
+		if err != nil {
+			return fmt.Errorf("server: queue %q: %w", spec.Name, err)
+		}
+		if err := q.attachWAL(l, rec, s.cfg.SnapshotEvery); err != nil {
+			l.Close()
+			return err
+		}
+		s.cfg.Logf("server: queue %q: recovered %d items (snapshot lsn %d, %d records replayed, torn=%v)",
+			spec.Name, len(rec.Items), rec.SnapshotLSN, rec.Replayed, rec.Torn)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.queues[q.spec.Name]; dup {
+		if q.wal != nil {
+			q.wal.Close()
+		}
 		return fmt.Errorf("server: queue %q already registered", q.spec.Name)
 	}
 	s.queues[q.spec.Name] = q
@@ -163,7 +215,8 @@ func (s *Server) Addr() net.Addr {
 // draining (inserts shed with RETRY_AFTER, delete-mins keep working so
 // clients can empty the queues), then wait until every connection has
 // closed or ctx expires, at which point remaining connections are
-// severed.
+// severed. Queues with a WAL attached then take a final snapshot and
+// seal their segments, so the next boot replays zero log records.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdown.Store(true)
 	s.lnMu.Lock()
@@ -183,17 +236,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.connsWG.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.closeConns()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if serr := s.sealWALs(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
-// Close severs everything immediately.
+// Close severs everything immediately. WAL files are closed (appends
+// already acknowledged are on disk) but no final snapshot is taken —
+// the next boot replays the log tail, exactly as after a crash.
 func (s *Server) Close() error {
 	s.shutdown.Store(true)
 	s.lnMu.Lock()
@@ -203,7 +262,27 @@ func (s *Server) Close() error {
 	s.lnMu.Unlock()
 	s.closeConns()
 	s.connsWG.Wait()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, q := range s.queues {
+		if q.wal != nil {
+			q.wal.Close()
+		}
+	}
 	return nil
+}
+
+// sealWALs snapshots and closes every durable queue's log.
+func (s *Server) sealWALs() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var err error
+	for _, q := range s.queues {
+		if serr := q.sealWAL(); serr != nil && err == nil {
+			err = fmt.Errorf("server: queue %q: seal: %w", q.spec.Name, serr)
+		}
+	}
+	return err
 }
 
 func (s *Server) closeConns() {
@@ -329,11 +408,14 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
-		switch q.insert(m.Item) {
+		st, err := q.insert(m.Item)
+		switch st {
 		case insOK:
 			return reply(bw, f.ID, wire.TInsertOK, wire.InsertOK{Accepted: 1}.Append(nil))
 		case insShed:
 			return reply(bw, f.ID, wire.TRetryAfter, s.retryPayload())
+		case insErr:
+			return s.replyErr(bw, f.ID, "durability: %v", err)
 		default:
 			return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", m.Item.Pri, q.spec.Priorities)
 		}
@@ -359,7 +441,10 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 				return s.replyErr(bw, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
 			}
 		}
-		accepted := q.insertBatch(m.Items)
+		accepted, err := q.insertBatch(m.Items)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "durability: %v", err)
+		}
 		ok := wire.InsertOK{Accepted: uint32(accepted), Rejected: uint32(len(m.Items) - accepted)}
 		if ok.Rejected > 0 {
 			ok.RetryAfterMillis = uint32(s.cfg.RetryAfterMillis)
@@ -375,7 +460,10 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
-		it, ok := q.deleteMin()
+		it, ok, err := q.deleteMin()
+		if err != nil {
+			return s.replyErr(bw, f.ID, "durability: %v", err)
+		}
 		if !ok {
 			return reply(bw, f.ID, wire.TEmpty, nil)
 		}
@@ -397,7 +485,10 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		// The pop loop is bounded by encoded response bytes as well as
 		// max, so the TItems frame always fits under wire.MaxFrame; a
 		// short response just means the client should ask again.
-		items := q.deleteMinBatch(max, wire.MaxPayload)
+		items, err := q.deleteMinBatch(max, wire.MaxPayload)
+		if err != nil {
+			return s.replyErr(bw, f.ID, "durability: %v", err)
+		}
 		return reply(bw, f.ID, wire.TItems, wire.Items{Items: items}.Append(nil))
 
 	case wire.TStats:

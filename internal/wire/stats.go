@@ -1,5 +1,14 @@
 package wire
 
+// StatsVersion is the QueueStats schema version this package emits.
+// Versioning is additive, mirroring the frame protocol's rollout
+// discipline: new fields only ever extend the JSON document, an old
+// client simply ignores unknown keys, and a new client reading an old
+// server treats the absent stats_version (0) as the original v1 shape
+// with no durability section. Nothing resyncs or disconnects over a
+// stats shape difference.
+const StatsVersion = 2
+
 // QueueStats is the JSON document carried by a TStatsReply frame. It is
 // defined here so server and client marshal/unmarshal the same shape.
 //
@@ -21,4 +30,38 @@ type QueueStats struct {
 	RetryAfter   int64  `json:"retry_after"`
 	Size         int64  `json:"size"`
 	Draining     bool   `json:"draining"`
+
+	// StatsVersion reports the schema version of the emitting server
+	// (v2 added durability); 0 means a pre-versioning (v1) server.
+	StatsVersion int `json:"stats_version,omitempty"`
+	// Durability is present only when the queue has a write-ahead log
+	// attached.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats describes one queue's write-ahead log (stats_version
+// >= 2; see internal/wal).
+type DurabilityStats struct {
+	// FsyncPolicy is "always", "interval" or "never".
+	FsyncPolicy string `json:"fsync_policy"`
+	// LastLSN is the newest appended record; SnapshotLSN the newest
+	// record covered by a snapshot. Their difference is the replay tail
+	// a crash right now would cost on boot.
+	LastLSN     uint64 `json:"last_lsn"`
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// Segments and WALBytes size the live log on disk.
+	Segments int   `json:"segments"`
+	WALBytes int64 `json:"wal_bytes"`
+	// Appends counts log records, Fsyncs actual fsync(2) calls — their
+	// ratio is the group-commit batching factor under SyncAlways.
+	Appends              uint64 `json:"appends"`
+	Fsyncs               uint64 `json:"fsyncs"`
+	Snapshots            uint64 `json:"snapshots"`
+	RecordsSinceSnapshot uint64 `json:"records_since_snapshot"`
+	// RecoveredItems and ReplayedRecords describe the last boot; a boot
+	// after a graceful shutdown replays zero records. TornTail reports
+	// that boot found (and cleanly truncated) tail damage.
+	RecoveredItems  int  `json:"recovered_items"`
+	ReplayedRecords int  `json:"replayed_records"`
+	TornTail        bool `json:"torn_tail,omitempty"`
 }

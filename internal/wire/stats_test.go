@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// legacyQueueStats is the v1 stats document exactly as a pre-durability
+// client defines it — no stats_version, no durability. The compat tests
+// below check both directions of the rollout: an old client pointed at
+// a new server, and a new client pointed at an old server.
+type legacyQueueStats struct {
+	Queue        string `json:"queue"`
+	Algorithm    string `json:"algorithm"`
+	Priorities   int    `json:"priorities"`
+	Shards       int    `json:"shards"`
+	Capacity     int64  `json:"capacity"`
+	Inserts      int64  `json:"inserts"`
+	Deletes      int64  `json:"deletes"`
+	EmptyDeletes int64  `json:"empty_deletes"`
+	RetryAfter   int64  `json:"retry_after"`
+	Size         int64  `json:"size"`
+	Draining     bool   `json:"draining"`
+}
+
+func TestOldClientReadsNewServerStats(t *testing.T) {
+	// A v2 server document, durability section and all.
+	doc, err := json.Marshal(QueueStats{
+		Queue:        "jobs",
+		Algorithm:    "FunnelTree",
+		Priorities:   64,
+		Shards:       4,
+		Inserts:      100,
+		Deletes:      40,
+		Size:         60,
+		StatsVersion: StatsVersion,
+		Durability: &DurabilityStats{
+			FsyncPolicy: "interval",
+			LastLSN:     123,
+			SnapshotLSN: 100,
+			Segments:    2,
+			WALBytes:    4096,
+			Appends:     140,
+			Fsyncs:      12,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old legacyQueueStats
+	if err := json.Unmarshal(doc, &old); err != nil {
+		t.Fatalf("old client failed on new server stats: %v", err)
+	}
+	if old.Queue != "jobs" || old.Inserts != 100 || old.Deletes != 40 || old.Size != 60 {
+		t.Fatalf("old client misread v2 document: %+v", old)
+	}
+}
+
+func TestNewClientReadsOldServerStats(t *testing.T) {
+	doc, err := json.Marshal(legacyQueueStats{
+		Queue:     "jobs",
+		Algorithm: "SingleLock",
+		Inserts:   7,
+		Size:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QueueStats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatalf("new client failed on old server stats: %v", err)
+	}
+	if st.StatsVersion != 0 {
+		t.Fatalf("absent stats_version must decode as 0 (pre-versioning), got %d", st.StatsVersion)
+	}
+	if st.Durability != nil {
+		t.Fatalf("old server document grew a durability section: %+v", st.Durability)
+	}
+	if st.Queue != "jobs" || st.Inserts != 7 {
+		t.Fatalf("new client misread v1 document: %+v", st)
+	}
+}
+
+func TestStatsRoundTripKeepsDurability(t *testing.T) {
+	in := QueueStats{Queue: "q", StatsVersion: StatsVersion,
+		Durability: &DurabilityStats{FsyncPolicy: "always", RecoveredItems: 3, ReplayedRecords: 9, TornTail: true}}
+	doc, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out QueueStats
+	if err := json.Unmarshal(doc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Durability == nil || *out.Durability != *in.Durability {
+		t.Fatalf("durability did not round-trip: %+v", out.Durability)
+	}
+}

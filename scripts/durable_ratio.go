@@ -1,0 +1,67 @@
+// Command durable_ratio checks a merged pqload bench file (see
+// scripts/loadtest_durable.sh): the "+wal" run's throughput must be
+// within the given factor of its in-memory counterpart.
+//
+// Usage: go run ./scripts/durable_ratio.go <bench.json> <max-ratio>
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pq/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "durable_ratio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: durable_ratio <bench.json> <max-ratio>")
+	}
+	maxRatio, err := strconv.ParseFloat(args[1], 64)
+	if err != nil || maxRatio <= 0 {
+		return fmt.Errorf("bad max-ratio %q", args[1])
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var bf harness.BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return err
+	}
+	throughput := map[string]float64{}
+	for _, r := range bf.Runs {
+		throughput[r.Algorithm] = r.ThroughputOpsPerSec
+	}
+	checked := 0
+	for alg, durable := range throughput {
+		base, ok := strings.CutSuffix(alg, "+wal")
+		if !ok {
+			continue
+		}
+		memory, ok := throughput[base]
+		if !ok {
+			return fmt.Errorf("%s: no in-memory counterpart %q in %s", alg, base, args[0])
+		}
+		ratio := memory / durable
+		fmt.Printf("durable_ratio: %s %.0f ops/s vs %s %.0f ops/s: %.2fx slowdown (limit %.2fx)\n",
+			base, memory, alg, durable, ratio, maxRatio)
+		if ratio > maxRatio {
+			return fmt.Errorf("%s is %.2fx slower than %s, limit %.2fx", alg, ratio, base, maxRatio)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("no +wal run found in %s", args[0])
+	}
+	return nil
+}

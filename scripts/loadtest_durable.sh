@@ -1,0 +1,84 @@
+#!/bin/sh
+# Durable vs in-memory throughput comparison: the same closed-loop
+# pqload workload against (a) an in-memory pqd and (b) a pqd with the
+# write-ahead log on -fsync interval, merged into one pq-bench/v1
+# service-suite file via `pqload -append` (the durable run is labeled
+# "pqd/<alg>+wal"). Asserts the durable run holds within MAX_RATIO of
+# the in-memory throughput — group commit is what makes that possible.
+#
+# A third short run on -fsync always exercises the strictest policy and
+# the crash-safety configuration CI's kill -9 smoke relies on; it is
+# reported but not ratio-checked (raw fsync latency is hardware truth,
+# not a code property).
+#
+# Used by `make loadtest-durable` and the CI durability step.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+ADDR=${PQD_ADDR:-127.0.0.1:7942}
+OUT=${PQLOAD_JSON:-pqload-durable.json}
+DURATION=${DURATION:-2s}
+WORKERS=${WORKERS:-8}
+MAX_RATIO=${MAX_RATIO:-2.0}
+DATA_DIR=${DATA_DIR:-$(mktemp -d)}
+
+$GO build -o "$BIN/pqd" ./cmd/pqd
+$GO build -o "$BIN/pqload" ./cmd/pqload
+
+rm -f "$OUT"
+
+wait_up() {
+  i=0
+  until "$BIN/pqload" -addr "$ADDR" -duration 50ms -workers 1 -drain=false >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -ge 50 ]; then
+      echo "loadtest_durable: pqd never came up on $ADDR" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+stop_pqd() {
+  kill -TERM "$PQD_PID" 2>/dev/null || true
+  wait "$PQD_PID" 2>/dev/null || true
+}
+
+# Run 1: in-memory baseline.
+"$BIN/pqd" -addr "$ADDR" -q -queues "default:FunnelTree:64:4:0" &
+PQD_PID=$!
+trap 'stop_pqd' EXIT
+wait_up
+"$BIN/pqload" -addr "$ADDR" -queue default \
+  -workers "$WORKERS" -conns 4 -duration "$DURATION" -json "$OUT"
+stop_pqd
+
+# Run 2: same workload, WAL on -fsync interval (group commit's home turf).
+"$BIN/pqd" -addr "$ADDR" -q -queues "default:FunnelTree:64:4:0" \
+  -data-dir "$DATA_DIR/interval" -fsync interval &
+PQD_PID=$!
+trap 'stop_pqd' EXIT
+wait_up
+"$BIN/pqload" -addr "$ADDR" -queue default \
+  -workers "$WORKERS" -conns 4 -duration "$DURATION" -json "$OUT" -append
+stop_pqd
+
+# Run 3: -fsync always, short, informational.
+"$BIN/pqd" -addr "$ADDR" -q -queues "default:FunnelTree:64:4:0" \
+  -data-dir "$DATA_DIR/always" -fsync always &
+PQD_PID=$!
+trap 'stop_pqd' EXIT
+wait_up
+"$BIN/pqload" -addr "$ADDR" -queue default \
+  -workers "$WORKERS" -conns 4 -duration 1s
+stop_pqd
+trap - EXIT
+
+# The merged document must validate against pq-bench/v1.
+BENCH_JSON="$PWD/$OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+
+# Ratio check: durable (interval) throughput within MAX_RATIO of memory.
+$GO run ./scripts/durable_ratio.go "$OUT" "$MAX_RATIO"
+
+echo "loadtest_durable: OK ($OUT)"
