@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"pq"
 	"pq/internal/wal"
@@ -19,6 +20,16 @@ import (
 // Tagged-value layout: in-memory queues store pri(4)+value; durable
 // queues store pri(4)+id(8)+value. The priority prefix stays first so
 // the shared putBack/shardFor helpers work on either layout.
+//
+// Append failures: a write or fsync error poisons the log (wal.
+// ErrPoisoned) — the failed record's bytes may still reach disk via
+// the page cache, so its in-memory rollback below cannot be trusted to
+// match post-crash replay. The log therefore refuses every subsequent
+// append, which makes each durable path here fail from then on: the
+// queue stops serving mutations and the divergence window collapses to
+// the NACKed (outcome-indeterminate) operations themselves. Rolled-back
+// items are never delivered afterwards, so no client observes state
+// that replay could contradict.
 
 // durTagLen is the tag prefix of a durable queue's stored values.
 const durTagLen = 12
@@ -48,7 +59,16 @@ func (q *servedQueue) attachWAL(l *wal.Log, rec wal.Recovery, snapEvery int) err
 	if n := int64(len(rec.Items)); n > 0 {
 		q.inserts.Add(n)
 		if q.admit != nil {
-			q.admit.AddN(n) // recovered items occupy admission capacity
+			// Recovered items occupy admission capacity. AddN clamps at
+			// Capacity, so when a restart recovers more items than a
+			// (since lowered) configured bound, the surplus is tracked as
+			// overflow debt: pops burn the debt before freeing counter
+			// slots, keeping admission closed until real occupancy drops
+			// below Capacity (see popCommit/popCommitN).
+			q.admit.AddN(n)
+			if over := n - q.spec.Capacity; over > 0 {
+				q.admitOverflow.Store(over)
+			}
 		}
 	}
 	return nil
@@ -156,7 +176,9 @@ func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
 }
 
 // deleteMinDurable pops, logs the departure, then acknowledges. A log
-// failure puts the item back: nothing leaves the queue unrecorded.
+// failure puts the item back: nothing leaves the queue unrecorded, and
+// since the failure poisoned the log, the put-back item can never be
+// delivered later (every subsequent pop fails to log its departure).
 func (q *servedQueue) deleteMinDurable() (wire.Item, bool, error) {
 	q.durMu.RLock()
 	defer q.durMu.RUnlock()
@@ -247,12 +269,18 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error
 // iteration: each shard is popped dry via the native batch path and
 // every entry is put back, so the queue is byte-for-byte unchanged
 // afterwards.
-func (q *servedQueue) snapshot() error {
+// wait controls contention with an in-flight snapshot: background
+// callers skip (false), the seal path waits its turn (true) so the
+// final snapshot is never silently dropped.
+func (q *servedQueue) snapshot(wait bool) error {
 	if q.wal == nil {
 		return nil
 	}
-	if !q.snapActive.CompareAndSwap(false, true) {
-		return nil // a snapshot is already running
+	for !q.snapActive.CompareAndSwap(false, true) {
+		if !wait {
+			return nil // a snapshot is already running
+		}
+		time.Sleep(time.Millisecond)
 	}
 	defer q.snapActive.Store(false)
 	q.durMu.Lock()
@@ -290,18 +318,19 @@ func (q *servedQueue) maybeSnapshot() {
 		return
 	}
 	if q.wal.Stats().RecordsSinceSnapshot >= uint64(q.snapEvery) {
-		go q.snapshot()
+		go q.snapshot(false)
 	}
 }
 
 // sealWAL takes a final snapshot and closes the log — the graceful-
 // shutdown path. After it, a restart replays zero log records: boot is
-// pure snapshot load.
+// pure snapshot load. It waits out any in-flight background snapshot
+// (which covers fewer records) rather than skipping its own.
 func (q *servedQueue) sealWAL() error {
 	if q.wal == nil {
 		return nil
 	}
-	err := q.snapshot()
+	err := q.snapshot(true)
 	if cerr := q.wal.Close(); err == nil {
 		err = cerr
 	}

@@ -268,6 +268,120 @@ func TestDurabilityStatsPlumbing(t *testing.T) {
 	}
 }
 
+// TestSealWaitsForInflightSnapshot: Shutdown's final snapshot must not
+// be skipped just because a background snapshot is mid-flight — sealWAL
+// waits its turn, so "boot after graceful shutdown replays zero
+// records" holds even when the shutdown races an auto-snapshot.
+func TestSealWaitsForInflightSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*servedQueue, *wal.Log, wal.Recovery) {
+		q, err := newServedQueue(QueueSpec{Name: "q", Algorithm: pq.SimpleLinear, Priorities: 4}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.attachWAL(l, rec, 0); err != nil {
+			t.Fatal(err)
+		}
+		return q, l, rec
+	}
+	q, _, _ := open()
+	for i := 0; i < 7; i++ {
+		if st, err := q.insert(wire.Item{Pri: uint32(i % 4), Value: []byte{byte(i)}}); err != nil || st != insOK {
+			t.Fatalf("insert %d: status=%v err=%v", i, st, err)
+		}
+	}
+	// Fake an in-flight background snapshot that finishes shortly; the
+	// seal must wait it out instead of returning without a snapshot.
+	q.snapActive.Store(true)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		q.snapActive.Store(false)
+	}()
+	if err := q.sealWAL(); err != nil {
+		t.Fatalf("sealWAL: %v", err)
+	}
+
+	_, l2, rec := open()
+	defer l2.Close()
+	if rec.Replayed != 0 {
+		t.Fatalf("boot after graceful seal replayed %d records, want 0 (final snapshot was skipped)", rec.Replayed)
+	}
+	if len(rec.Items) != 7 {
+		t.Fatalf("recovered %d items, want 7", len(rec.Items))
+	}
+}
+
+// TestRecoveredOverflowKeepsAdmissionClosed: a restart with a lowered
+// Capacity can recover more items than the admission counter can book
+// (AddN clamps at the bound). The surplus is tracked as overflow debt
+// so pops don't free phantom slots: inserts keep shedding until real
+// occupancy is back under the bound.
+func TestRecoveredOverflowKeepsAdmissionClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []wal.Item
+	for i := 0; i < 5; i++ {
+		recs = append(recs, wal.Item{ID: l.AllocIDs(1), Pri: uint32(i % 4), Value: []byte{byte(i)}})
+	}
+	if err := l.AppendInsert(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot with Capacity 3 < the 5 recovered items.
+	q, err := newServedQueue(QueueSpec{Name: "q", Algorithm: pq.SimpleLinear, Priorities: 4, Capacity: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := q.attachWAL(l2, rec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.admitOverflow.Load(); got != 2 {
+		t.Fatalf("admitOverflow = %d, want 2", got)
+	}
+
+	tryInsert := func() insertStatus {
+		t.Helper()
+		st, err := q.insert(wire.Item{Pri: 0, Value: []byte("new")})
+		if err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		return st
+	}
+	if st := tryInsert(); st != insShed {
+		t.Fatalf("insert at occupancy 5/3: status=%v, want shed", st)
+	}
+	// A batch pop burns the two units of overflow debt without touching
+	// the counter: still 3 live, still full.
+	if items, err := q.deleteMinBatch(2, 1<<20); err != nil || len(items) != 2 {
+		t.Fatalf("deleteMinBatch: %d items, err %v", len(items), err)
+	}
+	if st := tryInsert(); st != insShed {
+		t.Fatalf("insert at occupancy 3/3: status=%v, want shed", st)
+	}
+	// One more pop drops real occupancy below the bound.
+	if _, ok, err := q.deleteMin(); err != nil || !ok {
+		t.Fatalf("deleteMin: ok=%v err=%v", ok, err)
+	}
+	if st := tryInsert(); st != insOK {
+		t.Fatalf("insert at occupancy 2/3: status=%v, want admitted", st)
+	}
+}
+
 // TestDurableQueueNameValidation: a durable queue name becomes a
 // directory name, so path-ish names must be rejected.
 func TestDurableQueueNameValidation(t *testing.T) {

@@ -67,9 +67,12 @@ type servedQueue struct {
 	// admit is the bounded fetch-and-decrement counter of the paper's
 	// Section 3.3 used as an admission semaphore: BFaI on insert (a
 	// return equal to Capacity means "full", shed), FaD on successful
-	// delete-min. nil when Capacity is 0.
-	admit    *pq.Counter
-	draining atomic.Bool
+	// delete-min. nil when Capacity is 0. admitOverflow counts recovered
+	// items beyond Capacity that the clamped counter could not book
+	// (attachWAL); pops burn this debt before freeing counter slots.
+	admit         *pq.Counter
+	admitOverflow atomic.Int64
+	draining      atomic.Bool
 
 	// wal, when non-nil, makes the queue durable (see durable.go).
 	// tagLen is the per-value tag prefix: 4 (priority) in memory, 12
@@ -182,10 +185,30 @@ func (q *servedQueue) putBack(tagged []byte) {
 	q.shards[s].Insert(pri-q.bases[s], tagged)
 }
 
+// consumeOverflow takes up to n units of the recovered-beyond-capacity
+// debt, returning how many it took. While the debt is positive the
+// admission counter stays pinned at Capacity, so inserts keep shedding
+// until real occupancy is back under the bound.
+func (q *servedQueue) consumeOverflow(n int64) int64 {
+	for {
+		cur := q.admitOverflow.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := n
+		if take > cur {
+			take = cur
+		}
+		if q.admitOverflow.CompareAndSwap(cur, cur-take) {
+			return take
+		}
+	}
+}
+
 // popCommit records a popRaw whose item will be delivered: free the
 // admission slot and count the delete.
 func (q *servedQueue) popCommit() {
-	if q.admit != nil {
+	if q.admit != nil && q.consumeOverflow(1) == 0 {
 		q.admit.FaD()
 	}
 	q.deletes.Add(1)
@@ -278,7 +301,9 @@ func (q *servedQueue) popCommitN(n int) {
 		return
 	}
 	if q.admit != nil {
-		q.admit.SubN(int64(n))
+		if rem := int64(n) - q.consumeOverflow(int64(n)); rem > 0 {
+			q.admit.SubN(rem)
+		}
 	}
 	q.deletes.Add(int64(n))
 }

@@ -134,6 +134,10 @@ func (s *Server) AddQueue(spec QueueSpec) error {
 		}
 		s.cfg.Logf("server: queue %q: recovered %d items (snapshot lsn %d, %d records replayed, torn=%v)",
 			spec.Name, len(rec.Items), rec.SnapshotLSN, rec.Replayed, rec.Torn)
+		if over := q.admitOverflow.Load(); over > 0 {
+			s.cfg.Logf("server: queue %q: recovered %d items over capacity %d; admission stays closed until occupancy drops below the bound",
+				spec.Name, over, spec.Capacity)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -145,10 +145,21 @@ type Stats struct {
 	RecoveredItems       int
 	ReplayedRecords      int
 	TornTail             bool
+	// Failed reports a poisoned log: a write or fsync error occurred
+	// and every subsequent append is refused (see ErrPoisoned).
+	Failed bool
 }
 
 // ErrClosed reports appends after Close.
 var ErrClosed = errors.New("wal: closed")
+
+// ErrPoisoned reports operations on a log that has seen a write or
+// fsync failure. Once a record's bytes may have reached the OS but
+// their durability is unknown, an in-memory rollback can no longer be
+// trusted to match post-crash replay, so the log refuses every
+// subsequent append and snapshot — the standard WAL discipline for
+// fsync-failure ambiguity.
+var ErrPoisoned = errors.New("wal: log poisoned by write/fsync failure")
 
 // segment is one live log file.
 type segment struct {
@@ -202,6 +213,9 @@ type Log struct {
 	f       *os.File
 	segs    []segment
 	nextLSN uint64
+	failed  error // sticky ErrPoisoned-wrapped write/fsync failure
+
+	poisoned atomic.Bool // published copy of failed != nil, for Stats
 
 	// Published for Stats.
 	lastLSN   atomic.Uint64
@@ -294,8 +308,22 @@ func (l *Log) replaySegments(snapLSN uint64, live map[uint64]Item, nextID *uint6
 	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
 
 	lastLSN := snapLSN
-	for i := range segs {
-		s := &segs[i]
+	var kept []segment
+	endLSN := snapLSN // record-chain end of the last kept segment
+	for i := 0; i < len(segs); i++ {
+		s := segs[i]
+		if s.firstLSN > endLSN+1 && s.firstLSN > snapLSN+1 {
+			// The segment neither chains from its predecessor nor from
+			// the snapshot: the records in between are gone, so it and
+			// everything after it are unreachable.
+			rec.Torn = true
+			for _, orphan := range segs[i:] {
+				l.opts.Logf("wal: dropping segment %s: lsn gap after %d",
+					filepath.Base(orphan.path), endLSN)
+				os.Remove(orphan.path)
+			}
+			break
+		}
 		data, err := os.ReadFile(s.path)
 		if err != nil {
 			return rec, err
@@ -324,50 +352,65 @@ func (l *Log) replaySegments(snapLSN uint64, live map[uint64]Item, nextID *uint6
 				return rec, err
 			}
 		}
-		if damaged {
-			rec.Torn = true
-			if i != len(segs)-1 {
-				// Damage in a sealed segment: later segments are
-				// unreachable (their records' effects may depend on the
-				// lost ones). Stop replay here and retire the orphans so
-				// appends continue from a consistent position.
-				for _, orphan := range segs[i+1:] {
-					l.opts.Logf("wal: dropping segment %s orphaned by damage in %s",
-						filepath.Base(orphan.path), filepath.Base(s.path))
-					os.Remove(orphan.path)
-				}
-			}
-			l.opts.Logf("wal: %s: tail damage at offset %d, replay stops at lsn %d",
-				filepath.Base(s.path), valid, lastLSN)
-			if err := os.Truncate(s.path, int64(valid)); err != nil {
-				return rec, err
-			}
-			s.bytes = int64(valid)
-			segs = segs[:i+1]
-			break
+		if !damaged {
+			s.bytes = int64(len(data))
+			kept = append(kept, s)
+			endLSN = expect - 1
+			continue
 		}
-		s.bytes = int64(len(data))
+		rec.Torn = true
+		if err := os.Truncate(s.path, int64(valid)); err != nil {
+			return rec, err
+		}
+		s.bytes = int64(valid)
+		kept = append(kept, s)
+		endLSN = expect - 1
+		// The records lost here are [expect, next.firstLSN). When the
+		// next segment chains from at or below snapLSN+1, every lost
+		// record's effect is already in the loaded snapshot, so replay
+		// safely continues through the later segments. Otherwise they
+		// are unreachable (their records' effects may depend on the
+		// lost ones) and are retired so appends continue from a
+		// consistent position.
+		if i+1 < len(segs) && expect <= segs[i+1].firstLSN && segs[i+1].firstLSN <= snapLSN+1 {
+			l.opts.Logf("wal: %s: damage at offset %d covered by snapshot lsn %d; keeping later segments",
+				filepath.Base(s.path), valid, snapLSN)
+			continue
+		}
+		for _, orphan := range segs[i+1:] {
+			l.opts.Logf("wal: dropping segment %s orphaned by damage in %s",
+				filepath.Base(orphan.path), filepath.Base(s.path))
+			os.Remove(orphan.path)
+		}
+		l.opts.Logf("wal: %s: tail damage at offset %d, replay stops at lsn %d",
+			filepath.Base(s.path), valid, lastLSN)
+		break
 	}
 
 	l.nextLSN = lastLSN + 1
 	l.lastLSN.Store(lastLSN)
 
-	if len(segs) == 0 {
-		segs = append(segs, segment{firstLSN: l.nextLSN, path: filepath.Join(l.opts.Dir, segName(l.nextLSN))})
+	// Appending is only safe into a file whose record chain ends exactly
+	// at nextLSN-1; anything else (truncation into a snapshot-covered
+	// region, a tail the OS lost under a weak fsync policy) would put the
+	// new record after an in-file LSN gap, and the next boot would
+	// truncate it away as damage. Cut over to a fresh segment instead.
+	if len(kept) == 0 || endLSN != lastLSN {
+		kept = append(kept, segment{firstLSN: l.nextLSN, path: filepath.Join(l.opts.Dir, segName(l.nextLSN))})
 	}
-	active := &segs[len(segs)-1]
+	active := &kept[len(kept)-1]
 	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return rec, err
 	}
 	l.f = f
-	l.segs = segs
+	l.segs = kept
 	var total int64
-	for _, s := range segs {
+	for _, s := range kept {
 		total += s.bytes
 	}
 	l.walBytes.Store(total)
-	l.segCount.Store(int64(len(segs)))
+	l.segCount.Store(int64(len(kept)))
 	return rec, nil
 }
 
@@ -462,6 +505,7 @@ func (l *Log) Stats() Stats {
 		RecoveredItems:       l.recoveredItems,
 		ReplayedRecords:      l.replayed,
 		TornTail:             l.torn,
+		Failed:               l.poisoned.Load(),
 	}
 }
 
@@ -507,9 +551,40 @@ func (l *Log) writer() {
 	}
 }
 
+// poison marks the log permanently failed after a write or fsync
+// error. The failed bytes may already sit in the OS page cache and
+// become durable anyway, so continuing to append (or to roll back in
+// memory) would let post-crash replay diverge from the history clients
+// observed; refusing everything keeps the two consistent.
+func (l *Log) poison(err error) {
+	if l.failed != nil {
+		return
+	}
+	l.failed = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	l.poisoned.Store(true)
+	l.opts.Logf("wal: %v — refusing all further appends", l.failed)
+}
+
 // handleBatch processes one drained batch; it reports true once a
 // close request has been honored.
 func (l *Log) handleBatch(batch []request) (closing bool) {
+	if l.failed != nil {
+		for _, r := range batch {
+			switch r.kind {
+			case reqAppend, reqSnapshot:
+				r.done <- l.failed
+			case reqClose:
+				// No final fsync: after an fsync failure the kernel may
+				// have dropped the dirty pages, and a "successful" retry
+				// would only hide that. Just release the file.
+				l.f.Close()
+				r.done <- l.failed
+				closing = true
+			}
+		}
+		return closing
+	}
+
 	var appendErr error
 	needSync := false
 	wrote := false
@@ -569,7 +644,12 @@ func (l *Log) handleBatch(batch []request) (closing bool) {
 	if appendErr == nil && wrote && (l.opts.Policy == SyncAlways || needSync) {
 		appendErr = l.sync()
 	} else if needSync && !wrote && l.opts.Policy == SyncInterval {
-		l.sync() // tick with nothing new: cheap, keeps the tail bounded
+		if err := l.sync(); err != nil {
+			l.poison(err) // tick with nothing new: cheap, keeps the tail bounded
+		}
+	}
+	if appendErr != nil {
+		l.poison(appendErr)
 	}
 	for _, r := range pending {
 		r.done <- appendErr
@@ -579,9 +659,16 @@ func (l *Log) handleBatch(batch []request) (closing bool) {
 	for _, r := range batch {
 		switch r.kind {
 		case reqSnapshot:
-			r.done <- l.snapshotNow(r.items)
+			if l.failed != nil {
+				r.done <- l.failed
+			} else {
+				r.done <- l.snapshotNow(r.items)
+			}
 		case reqClose:
-			err := l.sync()
+			err := l.failed
+			if err == nil {
+				err = l.sync()
+			}
 			if cerr := l.f.Close(); err == nil {
 				err = cerr
 			}
@@ -642,16 +729,18 @@ func (l *Log) rotate() error {
 func (l *Log) snapshotNow(items []Item) error {
 	lsn := l.nextLSN - 1
 	if err := l.sync(); err != nil {
-		return err
+		l.poison(err) // the log file's own fsync failed, not the snapshot's
+		return l.failed
 	}
 	if err := writeSnapshotFile(l.opts.Dir, lsn, l.nextID.Load(), items); err != nil {
-		return err
+		return err // tmp file discarded; the log itself is still sound
 	}
 	l.snapshots.Add(1)
 	l.snapLSN.Store(lsn)
 	l.sinceSnap.Store(0)
 	if err := l.rotate(); err != nil {
-		return err
+		l.poison(err)
+		return l.failed
 	}
 	l.retain()
 	return nil

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -451,6 +452,167 @@ func TestDamagedMiddleSegmentDropsOrphans(t *testing.T) {
 	if got := len(segFiles(t, dir)); got > 2 {
 		t.Fatalf("orphaned segments not removed: %d files remain", got)
 	}
+}
+
+// TestCoveredDamageKeepsLaterSegments: damage inside a sealed segment
+// wholly covered by the newest snapshot must not drop the intact later
+// segments — the lost records' effects are already in the snapshot, so
+// replay continues through them and the acked post-snapshot records
+// survive. (Regression: the orphan-drop path used to fire here and
+// lose the whole tail.)
+func TestCoveredDamageKeepsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	base := mustAppendInsert(t, l, 10) // lsn 1..10
+	if err := l.Snapshot(base); err != nil {
+		t.Fatal(err)
+	}
+	mid := mustAppendInsert(t, l, 20) // lsn 11..30, spans several segments
+	all := append(append([]Item(nil), base...), mid...)
+	if err := l.Snapshot(all); err != nil {
+		t.Fatal(err) // snap@30; mid segments stay for the snap@10 fallback
+	}
+	tail := mustAppendInsert(t, l, 5) // lsn 31..35
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %v", segs)
+	}
+	// Corrupt the first record of the oldest remaining segment: all its
+	// records predate the newest snapshot, and its successor still
+	// chains from below that snapshot's LSN.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeader+2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, nil)
+	if !rec.Torn {
+		t.Fatal("covered damage not reported as torn")
+	}
+	want := liveMap(all)
+	for _, it := range tail {
+		want[it.ID] = it
+	}
+	checkItems(t, rec.Items, want) // nothing acked is lost
+	if rec.Replayed != len(tail) {
+		t.Fatalf("replayed %d records, want the %d post-snapshot ones", rec.Replayed, len(tail))
+	}
+
+	// And the log still appends + survives another boot.
+	more := mustAppendInsert(t, l2, 3)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rec3 := openT(t, dir, nil)
+	defer l3.Close()
+	for _, it := range more {
+		want[it.ID] = it
+	}
+	checkItems(t, rec3.Items, want)
+	if rec3.Torn {
+		t.Fatal("damage reappeared after repair")
+	}
+}
+
+// TestAppendAfterCoveredTruncationStartsFreshSegment: when replay
+// truncates damage in a snapshot-covered region and no segment holds
+// nextLSN-1, the log must rotate to a fresh segment named for nextLSN.
+// Appending into the truncated file would place the new record after
+// an in-file LSN gap, and the NEXT boot would silently truncate it
+// away as damage. (Regression.)
+func TestAppendAfterCoveredTruncationStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, nil)
+	base := mustAppendInsert(t, l, 10) // lsn 1..10
+	if err := l.Snapshot(base); err != nil {
+		t.Fatal(err) // snap@10
+	}
+	mid := mustAppendInsert(t, l, 10) // lsn 11..20
+	all := append(append([]Item(nil), base...), mid...)
+	if err := l.Snapshot(all); err != nil {
+		t.Fatal(err) // snap@20, rotates to an empty active segment
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the empty active segment and corrupt the first record of the
+	// sealed one: the surviving record chain now ends below snap@20.
+	segs := segFiles(t, dir)
+	if len(segs) != 2 {
+		t.Fatalf("want 2 segments, got %v", segs)
+	}
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeader+2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, nil)
+	if !rec.Torn {
+		t.Fatal("damage not reported as torn")
+	}
+	checkItems(t, rec.Items, liveMap(all)) // the snapshot carries everything
+	more := mustAppendInsert(t, l2, 3)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l3, rec3 := openT(t, dir, nil)
+	defer l3.Close()
+	if rec3.Torn {
+		t.Fatal("second boot found damage: post-recovery appends broke LSN continuity")
+	}
+	want := liveMap(all)
+	for _, it := range more {
+		want[it.ID] = it
+	}
+	checkItems(t, rec3.Items, want)
+}
+
+// TestWriteFailurePoisonsLog: after a write error the log must refuse
+// every subsequent append and snapshot. The failed record's bytes may
+// sit in the page cache and become durable anyway, so serving on as if
+// the rollback were clean would let post-crash replay diverge from the
+// history clients observed.
+func TestWriteFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, func(o *Options) { o.Policy = SyncAlways })
+	items := mustAppendInsert(t, l, 3)
+	// Sever the descriptor under the writer: the next write(2) fails.
+	l.f.Close()
+	if err := l.AppendInsert([]Item{{ID: 100, Pri: 1, Value: []byte("x")}}); err == nil {
+		t.Fatal("append on a severed descriptor succeeded")
+	}
+	if !l.Stats().Failed {
+		t.Fatal("stats do not report the poisoned log")
+	}
+	if err := l.AppendDelete([]uint64{items[0].ID}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failure: %v, want ErrPoisoned", err)
+	}
+	if err := l.Snapshot(items); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot after failure: %v, want ErrPoisoned", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("close after failure: %v, want ErrPoisoned", err)
+	}
+	// Only the pre-failure records were acked, and only they survive.
+	l2, rec := openT(t, dir, nil)
+	defer l2.Close()
+	checkItems(t, rec.Items, liveMap(items))
 }
 
 // TestIdleSnapshotKeepsActiveSegment: a snapshot taken with no records
