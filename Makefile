@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt pqd pqload loadtest-quick loadtest-durable
+.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
 
 all: build test
 
@@ -14,6 +14,15 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# vet plus staticcheck when the host has it (CI installs it; locally
+# it is optional).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -65,6 +74,16 @@ loadtest-quick:
 # bench file; fails if durable throughput falls below half of memory.
 loadtest-durable:
 	GO="$(GO)" sh ./scripts/loadtest_durable.sh
+
+# Metrics overhead: the same workload with recording on and off; fails
+# if the metrics-on run lost more than MAX_LOSS throughput.
+loadtest-obs:
+	GO="$(GO)" sh ./scripts/loadtest_obs.sh
+
+# Admin endpoint smoke: boot pqd with -admin-addr, probe the health
+# endpoints, and assert every required /metrics family is present.
+admin-smoke:
+	GO="$(GO)" sh ./scripts/admin_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

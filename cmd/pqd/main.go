@@ -18,12 +18,21 @@
 // log before the ack (-fsync always), boot replays snapshot + log
 // tail, and a graceful shutdown seals the log so the next boot is a
 // pure snapshot load. See the README's Durability section.
+//
+// With -admin-addr set, a second listener serves the ops surface:
+// Prometheus /metrics, /healthz and /readyz probes, a JSON /statusz
+// snapshot, and /debug/pprof. -slow-op warn-logs slow queue ops and
+// -log-format json switches the structured log stream to JSON. See
+// the README's Serving observability section.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,6 +67,11 @@ func run(args []string) error {
 		fsyncMode     = fs.String("fsync", "always", "WAL fsync policy: always, interval or never")
 		fsyncInterval = fs.Duration("fsync-interval", 10*time.Millisecond, "flush period for -fsync interval")
 		snapshotEvery = fs.Int("snapshot-every", 100000, "snapshot after this many log records (<0 disables)")
+
+		adminAddr = fs.String("admin-addr", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
+		slowOp    = fs.Duration("slow-op", 0, "warn-log queue ops slower than this (0 disables)")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		metrics   = fs.Bool("metrics", true, "record server-side metrics (off measures recording overhead)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,20 +87,51 @@ func run(args []string) error {
 		}
 	}
 
-	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
-	if *quiet {
-		logf = func(string, ...any) {}
+	// Structured logs go to stderr; stdout stays reserved for the
+	// machine-read "pqd: listening on ..." line and the exit report.
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("bad -log-format %q: want text or json", *logFormat)
 	}
+	if *quiet {
+		handler = slog.DiscardHandler
+	}
+	logger := slog.New(handler)
+	logf := func(format string, a ...any) { logger.Info(fmt.Sprintf(format, a...)) }
 	srv := server.New(server.Config{
 		MaxBatch:         *maxBatch,
 		RetryAfterMillis: *retryMillis,
 		Concurrency:      *conc,
-		Logf:             logf,
+		Logger:           logger,
+		SlowOp:           *slowOp,
+		NoMetrics:        !*metrics,
 		DataDir:          *dataDir,
 		Fsync:            fsyncPolicy,
 		FsyncInterval:    *fsyncInterval,
 		SnapshotEvery:    *snapshotEvery,
 	})
+
+	// The admin endpoint comes up before queues are added, so /healthz
+	// answers (and /readyz reports 503) while WAL replay is running.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler()}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin server failed", "err", err)
+			}
+		}()
+		fmt.Printf("pqd: admin on %s\n", aln.Addr())
+	}
 	for _, spec := range specs {
 		if err := srv.AddQueue(spec); err != nil {
 			return err
@@ -123,12 +168,18 @@ func run(args []string) error {
 
 	select {
 	case err := <-serveErr:
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
 		return err
 	case sig := <-sigs:
 		logf("pqd: %v: draining (timeout %v)", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		err := srv.Shutdown(ctx)
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
 		for _, spec := range specs {
 			if st, ok := srv.QueueStats(spec.Name); ok {
 				fmt.Printf("pqd: queue %q: inserts=%d deletes=%d shed=%d size=%d\n",

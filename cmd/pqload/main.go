@@ -267,6 +267,17 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  durability   fsync=%s appends=%d fsyncs=%d wal_bytes=%d segments=%d snapshots=%d\n",
 			d.FsyncPolicy, d.Appends, d.Fsyncs, d.WALBytes, d.Segments, d.Snapshots)
 	}
+	// Server-side (stats_version 3) latencies exclude the network and
+	// client stack; the gap to the client-observed numbers above is
+	// wire + scheduling cost.
+	if l := stFinal.Latency; l != nil {
+		fmt.Fprintf(out, "  server ns    insert p50=%.0f p99=%.0f  delete p50=%.0f p99=%.0f\n",
+			l.Insert.P50, l.Insert.P99, l.DeleteMin.P50, l.DeleteMin.P99)
+		if d := stFinal.Durability; d != nil && d.FsyncLatency != nil {
+			fmt.Fprintf(out, "  server wal   fsync p50=%.0fns p99=%.0fns  group-commit p50=%.1f recs\n",
+				d.FsyncLatency.P50, d.FsyncLatency.P99, d.GroupCommit.P50)
+		}
+	}
 
 	if o.jsonPath != "" {
 		// A durable queue gets a distinct algorithm label ("+wal") so its
@@ -280,6 +291,22 @@ func run(args []string, out *os.File) error {
 			"server_shards":      float64(stFinal.Shards),
 			"server_capacity":    float64(stFinal.Capacity),
 		}
+		if l := stFinal.Latency; l != nil {
+			// The server times single and batch ops separately; report
+			// whichever path this run exercised (batch mode uses the
+			// batch frames exclusively).
+			ins, del := l.Insert, l.DeleteMin
+			if ins.Count == 0 {
+				ins = l.InsertBatch
+			}
+			if del.Count == 0 {
+				del = l.DeleteMinBatch
+			}
+			internals["server_insert_p50_ns"] = ins.P50
+			internals["server_insert_p99_ns"] = ins.P99
+			internals["server_delete_p50_ns"] = del.P50
+			internals["server_delete_p99_ns"] = del.P99
+		}
 		if d := stFinal.Durability; d != nil {
 			algLabel += "+wal"
 			internals["wal_appends"] = float64(d.Appends)
@@ -287,6 +314,10 @@ func run(args []string, out *os.File) error {
 			internals["wal_bytes"] = float64(d.WALBytes)
 			internals["wal_segments"] = float64(d.Segments)
 			internals["wal_snapshots"] = float64(d.Snapshots)
+			if d.FsyncLatency != nil {
+				internals["wal_fsync_p99_ns"] = d.FsyncLatency.P99
+				internals["wal_group_commit_p50"] = d.GroupCommit.P50
+			}
 		}
 		run := harness.BenchRun{
 			Algorithm:           algLabel,

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4), the format the pqd admin endpoint's /metrics serves.
+// It is a thin formatter: callers bring their own families and label
+// sets; the writer handles HELP/TYPE headers, label escaping, and the
+// cumulative-bucket convention for histograms.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err reports the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the HELP/TYPE preamble for a family. typ is "counter",
+// "gauge" or "histogram".
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Labels renders a label set in stable (sorted) order, ready to splice
+// into sample lines. An empty map renders as "".
+func Labels(kv map[string]string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// Sample emits one sample line. labels must come from Labels (or be
+// empty).
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	p.printf("%s%s %g\n", name, labels, v)
+}
+
+// Histogram emits a full histogram family instance from a snapshot:
+// cumulative _bucket lines with le bounds (scaled by scale — pass 1e-9
+// to convert nanosecond observations to Prometheus' conventional
+// seconds, 1 for unitless sizes), the +Inf bucket, _sum and _count.
+func (p *PromWriter) Histogram(name, labels string, s HistSnapshot, scale float64) {
+	inner := labels
+	if inner != "" {
+		inner = strings.TrimSuffix(strings.TrimPrefix(inner, "{"), "}") + ","
+	}
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{%sle=\"%g\"} %d\n", name, inner, bound*scale, cum)
+	}
+	p.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, inner, s.Count)
+	p.printf("%s_sum%s %g\n", name, labels, float64(s.Sum)*scale)
+	p.printf("%s_count%s %d\n", name, labels, s.Count)
+}

@@ -116,6 +116,7 @@ func (q *servedQueue) insertDurable(it wire.Item) (insertStatus, error) {
 	s := q.shardFor(pri)
 	q.shards[s].Insert(pri-q.bases[s], durTag(id, it.Pri, it.Value))
 	q.inserts.Add(1)
+	q.noteShardIns(s, 1)
 	q.maybeSnapshot()
 	return insOK, nil
 }
@@ -169,6 +170,7 @@ func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
 	}
 	for s, batch := range byShard {
 		pq.InsertBatch(q.shards[s], batch)
+		q.noteShardIns(s, len(batch))
 	}
 	q.inserts.Add(int64(accepted))
 	q.maybeSnapshot()
@@ -182,7 +184,7 @@ func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
 func (q *servedQueue) deleteMinDurable() (wire.Item, bool, error) {
 	q.durMu.RLock()
 	defer q.durMu.RUnlock()
-	v, ok := q.popRaw()
+	v, si, ok := q.popRaw()
 	if !ok {
 		q.emptyDeletes.Add(1)
 		return wire.Item{}, false, nil
@@ -192,6 +194,7 @@ func (q *servedQueue) deleteMinDurable() (wire.Item, bool, error) {
 		return wire.Item{}, false, err
 	}
 	q.popCommit()
+	q.noteShardDel(si, 1)
 	q.maybeSnapshot()
 	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[durTagLen:]}, true, nil
 }
@@ -256,6 +259,9 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error
 		return nil, err
 	}
 	q.popCommitN(len(items))
+	for _, si := range keptShard {
+		q.noteShardDel(si, 1)
+	}
 	if len(items) < max {
 		q.emptyDeletes.Add(1)
 	}
@@ -287,14 +293,7 @@ func (q *servedQueue) snapshot(wait bool) error {
 	defer q.durMu.Unlock()
 	var items []wal.Item
 	for si, sub := range q.shards {
-		var drained []pq.Item[[]byte]
-		for {
-			got := pq.DeleteMinBatch(sub, 1024)
-			if len(got) == 0 {
-				break
-			}
-			drained = append(drained, got...)
-		}
+		drained := pq.Drain(sub)
 		for _, it := range drained {
 			v := it.Val
 			items = append(items, wal.Item{

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"pq"
+	"pq/internal/obs"
 	"pq/internal/wal"
 	"pq/internal/wire"
 )
@@ -89,6 +90,13 @@ type servedQueue struct {
 	deletes      atomic.Int64
 	emptyDeletes atomic.Int64
 	retryAfter   atomic.Int64
+	durErrors    atomic.Int64
+
+	// met holds the per-op latency histograms and shard counters; nil
+	// when the server runs with Config.NoMetrics. walMet, when non-nil,
+	// is the instrumentation hook handed to the queue's WAL.
+	met    *queueMetrics
+	walMet *obs.WALMetrics
 }
 
 func newServedQueue(spec QueueSpec, concurrency int) (*servedQueue, error) {
@@ -161,19 +169,35 @@ func (q *servedQueue) insert(it wire.Item) (insertStatus, error) {
 	s := q.shardFor(pri)
 	q.shards[s].Insert(pri-q.bases[s], tagged)
 	q.inserts.Add(1)
+	q.noteShardIns(s, 1)
 	return insOK, nil
 }
 
+// noteShardIns / noteShardDel feed the per-shard routing counters; both
+// are no-ops when metrics are off.
+func (q *servedQueue) noteShardIns(shard, n int) {
+	if q.met != nil && n > 0 {
+		q.met.shardIns[shard].Add(int64(n))
+	}
+}
+
+func (q *servedQueue) noteShardDel(shard, n int) {
+	if q.met != nil && n > 0 {
+		q.met.shardDel[shard].Add(int64(n))
+	}
+}
+
 // popRaw removes the most urgent tagged entry from the shards without
-// touching the admission counter or serving stats; callers either
-// commit the removal with popCommit or undo it with putBack.
-func (q *servedQueue) popRaw() ([]byte, bool) {
-	for _, sub := range q.shards {
+// touching the admission counter or serving stats, reporting which
+// shard served it; callers either commit the removal with popCommit or
+// undo it with putBack.
+func (q *servedQueue) popRaw() ([]byte, int, bool) {
+	for si, sub := range q.shards {
 		if v, ok := sub.DeleteMin(); ok {
-			return v, true
+			return v, si, true
 		}
 	}
-	return nil, false
+	return nil, 0, false
 }
 
 // putBack returns an entry taken by popRaw to its shard. Since popRaw
@@ -220,12 +244,13 @@ func (q *servedQueue) deleteMin() (wire.Item, bool, error) {
 	if q.wal != nil {
 		return q.deleteMinDurable()
 	}
-	v, ok := q.popRaw()
+	v, si, ok := q.popRaw()
 	if !ok {
 		q.emptyDeletes.Add(1)
 		return wire.Item{}, false, nil
 	}
 	q.popCommit()
+	q.noteShardDel(si, 1)
 	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true, nil
 }
 
@@ -277,6 +302,7 @@ func (q *servedQueue) insertBatch(items []wire.Item) (int, error) {
 	}
 	for s, batch := range byShard {
 		pq.InsertBatch(q.shards[s], batch)
+		q.noteShardIns(s, len(batch))
 	}
 	q.inserts.Add(int64(accepted))
 	return accepted, nil
@@ -344,6 +370,7 @@ func (q *servedQueue) deleteMinBatch(max, budget int) ([]wire.Item, error) {
 			kept++
 		}
 		q.popCommitN(kept)
+		q.noteShardDel(si, kept)
 		if kept < len(got) {
 			// Budget exhausted: the remainder goes back exactly once.
 			q.putBackN(si, got[kept:])
@@ -373,6 +400,7 @@ func (q *servedQueue) stats() wire.QueueStats {
 		Draining:     q.draining.Load(),
 		StatsVersion: wire.StatsVersion,
 	}
+	st.Latency = q.latencyStats()
 	if q.wal != nil {
 		ws := q.wal.Stats()
 		st.Durability = &wire.DurabilityStats{
@@ -389,8 +417,46 @@ func (q *servedQueue) stats() wire.QueueStats {
 			ReplayedRecords:      ws.ReplayedRecords,
 			TornTail:             ws.TornTail,
 		}
+		if q.walMet != nil {
+			fd := distFromHist(q.walMet.FsyncNanos.Snapshot())
+			gc := distFromHist(q.walMet.CommitRecords.Snapshot())
+			st.Durability.FsyncLatency = &fd
+			st.Durability.GroupCommit = &gc
+		}
 	}
 	return st
+}
+
+// peek returns up to max of the most urgent items without consuming
+// them: each shard is batch-popped and immediately restored. Durable
+// queues are quiesced under the snapshot lock for an exact view;
+// in-memory queues peek live, so a concurrent delete-min can briefly
+// see the queue empty — acceptable for the debug endpoint this serves.
+func (q *servedQueue) peek(max int) []wire.Item {
+	if max <= 0 {
+		return nil
+	}
+	if q.wal != nil {
+		q.durMu.Lock()
+		defer q.durMu.Unlock()
+	}
+	var out []wire.Item
+	for si, sub := range q.shards {
+		want := max - len(out)
+		if want <= 0 {
+			break
+		}
+		got := pq.DeleteMinBatch(sub, want)
+		if len(got) == 0 {
+			continue
+		}
+		for _, it := range got {
+			v := it.Val
+			out = append(out, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[q.tagLen:]})
+		}
+		q.putBackN(si, got)
+	}
+	return out
 }
 
 // size is the approximate queued-item count.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"path/filepath"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pq/internal/obs"
 	"pq/internal/wal"
 	"pq/internal/wire"
 )
@@ -38,8 +40,23 @@ type Config struct {
 	// Concurrency sizes the funnel layers of the backing queues and
 	// admission counters; default GOMAXPROCS.
 	Concurrency int
-	// Logf receives serving diagnostics; nil discards them.
+	// Logf receives serving diagnostics; nil discards them. Retained
+	// for compatibility — new code should set Logger. When only one of
+	// Logf/Logger is set, the other is bridged to it.
 	Logf func(format string, args ...any)
+	// Logger receives structured serving diagnostics (connection ids,
+	// queue names, WAL recovery and poison events, slow-op warnings).
+	// nil falls back to Logf, or discards when both are nil.
+	Logger *slog.Logger
+	// SlowOp logs any queue mutation that took longer than this at
+	// Warn level and counts it in pq_queue_slow_ops_total. 0 disables
+	// slow-op logging.
+	SlowOp time.Duration
+	// NoMetrics disables the server-side metrics recording (per-op
+	// latency histograms, protocol and shard counters). The admin
+	// endpoint still serves; histogram families are simply absent.
+	// Exists so the recording overhead can be measured.
+	NoMetrics bool
 
 	// DataDir, when set, makes every queue durable: each keeps a
 	// segmented write-ahead log plus snapshots under DataDir/<name>,
@@ -70,13 +87,61 @@ func (c *Config) normalize() {
 	if c.Concurrency <= 0 {
 		c.Concurrency = runtime.GOMAXPROCS(0)
 	}
+	// Bridge the two logging surfaces: whichever the caller set feeds
+	// the other, so server internals can log structured while WAL code
+	// keeps its printf-style hook.
+	switch {
+	case c.Logger == nil && c.Logf != nil:
+		c.Logger = slog.New(logfHandler{f: c.Logf})
+	case c.Logger == nil:
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+		if lg := c.Logger; lg.Enabled(context.Background(), slog.LevelInfo) {
+			c.Logf = func(format string, args ...any) {
+				lg.Info(fmt.Sprintf(format, args...))
+			}
+		} else {
+			c.Logf = func(string, ...any) {}
+		}
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 100000
 	}
 }
+
+// logfHandler adapts a printf-style Logf sink into a slog.Handler, so
+// a Config that only sets Logf still sees the structured log stream.
+type logfHandler struct {
+	f     func(string, ...any)
+	attrs string
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(r.Message)
+	sb.WriteString(h.attrs)
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value.Any())
+		return true
+	})
+	h.f("server: %s", sb.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var sb strings.Builder
+	sb.WriteString(h.attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value.Any())
+	}
+	h.attrs = sb.String()
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }
 
 // Server is a pqd serving instance.
 type Server struct {
@@ -90,6 +155,13 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	connsWG  sync.WaitGroup
 	shutdown atomic.Bool
+
+	// met aggregates protocol-level series; metricsOn gates every
+	// recording site (Config.NoMetrics). nextConnID numbers connections
+	// for log correlation and doubles as the metric stripe hint.
+	met        *serverMetrics
+	metricsOn  bool
+	nextConnID atomic.Uint64
 }
 
 // New builds a server with no queues; add them with AddQueue before
@@ -97,9 +169,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.normalize()
 	return &Server{
-		cfg:    cfg,
-		queues: make(map[string]*servedQueue),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:       cfg,
+		queues:    make(map[string]*servedQueue),
+		conns:     make(map[net.Conn]struct{}),
+		met:       newServerMetrics(cfg.Concurrency),
+		metricsOn: !cfg.NoMetrics,
 	}
 }
 
@@ -117,13 +191,24 @@ func (s *Server) AddQueue(spec QueueSpec) error {
 	if err != nil {
 		return err
 	}
+	if s.metricsOn {
+		q.met = newQueueMetrics(s.cfg.Concurrency, len(q.shards))
+	}
 	if s.cfg.DataDir != "" {
+		if s.metricsOn {
+			// One stripe: the wal writer goroutine is the only recorder.
+			q.walMet = &obs.WALMetrics{
+				FsyncNanos:    obs.NewHistogram(1, obs.LatencyMinShift, obs.LatencyMaxShift),
+				CommitRecords: obs.NewHistogram(1, 0, 20),
+			}
+		}
 		l, rec, err := wal.Open(wal.Options{
 			Dir:          filepath.Join(s.cfg.DataDir, spec.Name),
 			Policy:       s.cfg.Fsync,
 			Interval:     s.cfg.FsyncInterval,
 			SegmentBytes: s.cfg.SegmentBytes,
 			Logf:         s.cfg.Logf,
+			Metrics:      q.walMet,
 		})
 		if err != nil {
 			return fmt.Errorf("server: queue %q: %w", spec.Name, err)
@@ -132,11 +217,12 @@ func (s *Server) AddQueue(spec QueueSpec) error {
 			l.Close()
 			return err
 		}
-		s.cfg.Logf("server: queue %q: recovered %d items (snapshot lsn %d, %d records replayed, torn=%v)",
-			spec.Name, len(rec.Items), rec.SnapshotLSN, rec.Replayed, rec.Torn)
+		s.cfg.Logger.Info("queue recovered",
+			"queue", spec.Name, "items", len(rec.Items), "snapshot_lsn", rec.SnapshotLSN,
+			"replayed_records", rec.Replayed, "torn_tail", rec.Torn)
 		if over := q.admitOverflow.Load(); over > 0 {
-			s.cfg.Logf("server: queue %q: recovered %d items over capacity %d; admission stays closed until occupancy drops below the bound",
-				spec.Name, over, spec.Capacity)
+			s.cfg.Logger.Warn("recovered items exceed capacity; admission stays closed until occupancy drops below the bound",
+				"queue", spec.Name, "over", over, "capacity", spec.Capacity)
 		}
 	}
 	s.mu.Lock()
@@ -314,12 +400,57 @@ type connReq struct {
 	protoErr error
 }
 
+// connState carries one connection's identity through the request
+// path: the id correlates log lines and picks metric stripes.
+type connState struct {
+	id  uint64
+	log *slog.Logger
+}
+
+// countingReader / countingWriter tap a connection's byte streams into
+// the protocol byte counters without touching buffering behaviour.
+type countingReader struct {
+	r    io.Reader
+	n    *obs.Counter
+	hint uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.n.Add(cr.hint, int64(n))
+	}
+	return n, err
+}
+
+type countingWriter struct {
+	w    io.Writer
+	n    *obs.Counter
+	hint uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.n.Add(cw.hint, int64(n))
+	}
+	return n, err
+}
+
 // serveConn runs one connection: a reader goroutine decodes frames
 // into a channel and this goroutine processes them, flushing the
 // buffered writer only when the pipeline runs dry or MaxBatch requests
 // have been handled — the server-side micro-batch.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.dropConn(c)
+
+	cs := connState{id: s.nextConnID.Add(1)}
+	cs.log = s.cfg.Logger.With("conn", cs.id, "remote", c.RemoteAddr().String())
+	if s.metricsOn {
+		s.met.connsAccepted.Add(1)
+		s.met.connsActive.Add(1)
+		defer s.met.connsActive.Add(-1)
+	}
 
 	// done tells the reader the processor is gone (write error), so a
 	// reader blocked sending into a full reqs channel doesn't leak.
@@ -329,14 +460,24 @@ func (s *Server) serveConn(c net.Conn) {
 	reqs := make(chan connReq, s.cfg.MaxBatch)
 	go func() {
 		defer close(reqs)
-		br := bufio.NewReaderSize(c, 64<<10)
+		var src io.Reader = c
+		if s.metricsOn {
+			src = &countingReader{r: c, n: s.met.bytesRead, hint: cs.id}
+		}
+		br := bufio.NewReaderSize(src, 64<<10)
 		for {
 			f, err := wire.ReadFrame(br)
 			if err != nil && !errors.Is(err, wire.ErrBadVersion) && !errors.Is(err, wire.ErrBadFlags) {
 				if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
-					s.cfg.Logf("server: %s: read: %v", c.RemoteAddr(), err)
+					cs.log.Warn("read failed", "err", err)
 				}
 				return
+			}
+			if s.metricsOn {
+				s.met.framesRead.Inc(cs.id)
+				if err != nil {
+					s.met.resyncs.Inc(cs.id)
+				}
 			}
 			select {
 			case reqs <- connReq{f: f, protoErr: err}:
@@ -346,11 +487,15 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 	}()
 
-	bw := bufio.NewWriterSize(c, 64<<10)
+	var dst io.Writer = c
+	if s.metricsOn {
+		dst = &countingWriter{w: c, n: s.met.bytesWritten, hint: cs.id}
+	}
+	bw := bufio.NewWriterSize(dst, 64<<10)
 	for r := range reqs {
 		n := 1
-		if err := s.handle(r, bw); err != nil {
-			s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
+		if err := s.handle(r, bw, cs); err != nil {
+			cs.log.Warn("write failed", "err", err)
 			return
 		}
 	batch:
@@ -361,13 +506,17 @@ func (s *Server) serveConn(c net.Conn) {
 					break batch
 				}
 				n++
-				if err := s.handle(r2, bw); err != nil {
-					s.cfg.Logf("server: %s: write: %v", c.RemoteAddr(), err)
+				if err := s.handle(r2, bw, cs); err != nil {
+					cs.log.Warn("write failed", "err", err)
 					return
 				}
 			default:
 				break batch
 			}
+		}
+		if s.metricsOn {
+			s.met.framesWritten.Add(cs.id, int64(n))
+			s.met.pipelineDepth.Observe(cs.id, int64(n))
 		}
 		if err := bw.Flush(); err != nil {
 			return
@@ -393,8 +542,43 @@ func (s *Server) retryPayload() []byte {
 	return wire.RetryAfter{Millis: uint32(s.cfg.RetryAfterMillis)}.Append(nil)
 }
 
+// opDone finishes one timed queue operation: count it, record the
+// latency, and log it when it crossed the slow-op threshold.
+func (s *Server) opDone(q *servedQueue, op qOp, t0 time.Time, cs connState) {
+	m := q.met
+	if m == nil {
+		return
+	}
+	m.ops[op].Inc(cs.id)
+	if m.lat[op] == nil {
+		return // counted but not timed (stats, drain)
+	}
+	d := time.Since(t0)
+	m.lat[op].Observe(cs.id, d.Nanoseconds())
+	if s.cfg.SlowOp > 0 && d >= s.cfg.SlowOp {
+		m.slowOps.Add(1)
+		cs.log.Warn("slow op", "queue", q.spec.Name, "op", qOpNames[op], "duration", d)
+	}
+}
+
+// opClock stamps the start of a timed operation; zero when metrics are
+// off so the fast path skips the clock read entirely.
+func (q *servedQueue) opClock() time.Time {
+	if q.met == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// durFailed notes a mutation refused with a durability error — the
+// signal that the queue's WAL is poisoned and ops stopped serving.
+func (q *servedQueue) durFailed(cs connState, op string, err error) {
+	q.durErrors.Add(1)
+	cs.log.Error("durability failure", "queue", q.spec.Name, "op", op, "err", err)
+}
+
 // handle processes one request frame and writes its single response.
-func (s *Server) handle(r connReq, bw *bufio.Writer) error {
+func (s *Server) handle(r connReq, bw *bufio.Writer, cs connState) error {
 	f := r.f
 	if r.protoErr != nil {
 		return s.replyErr(bw, f.ID, "%v (frame version %d, flags ignored until version matches)", r.protoErr, f.Version)
@@ -412,13 +596,16 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
+		t0 := q.opClock()
 		st, err := q.insert(m.Item)
+		s.opDone(q, opInsert, t0, cs)
 		switch st {
 		case insOK:
 			return reply(bw, f.ID, wire.TInsertOK, wire.InsertOK{Accepted: 1}.Append(nil))
 		case insShed:
 			return reply(bw, f.ID, wire.TRetryAfter, s.retryPayload())
 		case insErr:
+			q.durFailed(cs, "insert", err)
 			return s.replyErr(bw, f.ID, "durability: %v", err)
 		default:
 			return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", m.Item.Pri, q.spec.Priorities)
@@ -445,8 +632,11 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 				return s.replyErr(bw, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
 			}
 		}
+		t0 := q.opClock()
 		accepted, err := q.insertBatch(m.Items)
+		s.opDone(q, opInsertBatch, t0, cs)
 		if err != nil {
+			q.durFailed(cs, "insert_batch", err)
 			return s.replyErr(bw, f.ID, "durability: %v", err)
 		}
 		ok := wire.InsertOK{Accepted: uint32(accepted), Rejected: uint32(len(m.Items) - accepted)}
@@ -464,8 +654,11 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
+		t0 := q.opClock()
 		it, ok, err := q.deleteMin()
+		s.opDone(q, opDeleteMin, t0, cs)
 		if err != nil {
+			q.durFailed(cs, "delete_min", err)
 			return s.replyErr(bw, f.ID, "durability: %v", err)
 		}
 		if !ok {
@@ -489,8 +682,11 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		// The pop loop is bounded by encoded response bytes as well as
 		// max, so the TItems frame always fits under wire.MaxFrame; a
 		// short response just means the client should ask again.
+		t0 := q.opClock()
 		items, err := q.deleteMinBatch(max, wire.MaxPayload)
+		s.opDone(q, opDeleteMinBatch, t0, cs)
 		if err != nil {
+			q.durFailed(cs, "delete_min_batch", err)
 			return s.replyErr(bw, f.ID, "durability: %v", err)
 		}
 		return reply(bw, f.ID, wire.TItems, wire.Items{Items: items}.Append(nil))
@@ -504,6 +700,7 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
+		s.opDone(q, opStats, time.Time{}, cs)
 		data, err := json.Marshal(q.stats())
 		if err != nil {
 			return s.replyErr(bw, f.ID, "stats: %v", err)
@@ -519,6 +716,8 @@ func (s *Server) handle(r connReq, bw *bufio.Writer) error {
 		if q == nil {
 			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
 		}
+		s.opDone(q, opDrain, time.Time{}, cs)
+		cs.log.Info("queue draining", "queue", q.spec.Name)
 		q.draining.Store(true)
 		rem := q.size()
 		if rem < 0 {

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pq/internal/obs"
 )
 
 // SyncPolicy selects when appended records reach stable storage.
@@ -95,6 +97,10 @@ type Options struct {
 	SnapshotRetain int
 	// Logf receives recovery and retention diagnostics; nil discards.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives fsync wall time and group-commit
+	// batch sizes from the writer goroutine (see obs.WALMetrics). The
+	// recording path is allocation-free; nil disables it.
+	Metrics *obs.WALMetrics
 }
 
 func (o *Options) normalize() error {
@@ -210,10 +216,11 @@ type Log struct {
 	closed bool
 
 	// Writer-owned state.
-	f       *os.File
-	segs    []segment
-	nextLSN uint64
-	failed  error // sticky ErrPoisoned-wrapped write/fsync failure
+	f         *os.File
+	segs      []segment
+	nextLSN   uint64
+	failed    error  // sticky ErrPoisoned-wrapped write/fsync failure
+	sinceSync uint64 // records appended since the last fsync (group-commit size)
 
 	poisoned atomic.Bool // published copy of failed != nil, for Stats
 
@@ -628,6 +635,7 @@ func (l *Log) handleBatch(batch []request) (closing bool) {
 			l.nextLSN++
 			l.appends.Add(1)
 			l.sinceSnap.Add(1)
+			l.sinceSync++
 			pending = append(pending, r)
 		case reqSync:
 			needSync = true
@@ -688,9 +696,26 @@ func appendRecord(buf, payload []byte, lsn uint64) []byte {
 }
 
 func (l *Log) sync() error {
+	var t0 time.Time
+	m := l.opts.Metrics
+	if m != nil && m.FsyncNanos != nil {
+		t0 = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	if m != nil {
+		if m.FsyncNanos != nil {
+			m.FsyncNanos.Observe(0, time.Since(t0).Nanoseconds())
+		}
+		// Records this fsync made durable — the group-commit batch
+		// size. Interval/never ticks with nothing new record a 0,
+		// which is itself informative (idle flushes).
+		if m.CommitRecords != nil {
+			m.CommitRecords.Observe(0, int64(l.sinceSync))
+		}
+	}
+	l.sinceSync = 0
 	l.syncs.Add(1)
 	return nil
 }

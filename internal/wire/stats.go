@@ -7,7 +7,11 @@ package wire
 // server treats the absent stats_version (0) as the original v1 shape
 // with no durability section. Nothing resyncs or disconnects over a
 // stats shape difference.
-const StatsVersion = 2
+//
+// v2 added the durability block; v3 adds server-measured latency
+// distributions (QueueStats.Latency) and the WAL's fsync-latency and
+// group-commit distributions inside the durability block.
+const StatsVersion = 3
 
 // QueueStats is the JSON document carried by a TStatsReply frame. It is
 // defined here so server and client marshal/unmarshal the same shape.
@@ -32,11 +36,41 @@ type QueueStats struct {
 	Draining     bool   `json:"draining"`
 
 	// StatsVersion reports the schema version of the emitting server
-	// (v2 added durability); 0 means a pre-versioning (v1) server.
+	// (v2 added durability, v3 server latency); 0 means a
+	// pre-versioning (v1) server.
 	StatsVersion int `json:"stats_version,omitempty"`
 	// Durability is present only when the queue has a write-ahead log
 	// attached.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Latency carries server-measured per-op service-time
+	// distributions (stats_version >= 3; absent when the server runs
+	// with metrics disabled). Server-side numbers exclude the network
+	// and client stack, so comparing them with client-observed
+	// latencies separates queue cost from wire cost.
+	Latency *ServerLatencyStats `json:"latency,omitempty"`
+}
+
+// Dist is a compact distribution summary derived from a server-side
+// fixed-bucket histogram (stats_version >= 3). Units depend on the
+// field carrying it: nanoseconds for latencies, record counts for the
+// WAL group-commit distribution. Quantiles are bucket-interpolated, so
+// they carry power-of-two bucket resolution, not exact ranks.
+type Dist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// ServerLatencyStats groups the per-op service-time distributions the
+// server records around each request it handles, in nanoseconds.
+// Batch-op samples time the whole batch, not per element.
+type ServerLatencyStats struct {
+	Insert         Dist `json:"insert"`
+	InsertBatch    Dist `json:"insert_batch"`
+	DeleteMin      Dist `json:"delete_min"`
+	DeleteMinBatch Dist `json:"delete_min_batch"`
 }
 
 // DurabilityStats describes one queue's write-ahead log (stats_version
@@ -64,4 +98,11 @@ type DurabilityStats struct {
 	RecoveredItems  int  `json:"recovered_items"`
 	ReplayedRecords int  `json:"replayed_records"`
 	TornTail        bool `json:"torn_tail,omitempty"`
+
+	// FsyncLatency (nanoseconds per fsync) and GroupCommit (appended
+	// records made durable per fsync) are present from stats_version 3
+	// when the server records metrics; together they say whether
+	// commit latency is hardware fsync cost or queueing behind it.
+	FsyncLatency *Dist `json:"fsync_latency,omitempty"`
+	GroupCommit  *Dist `json:"group_commit_records,omitempty"`
 }

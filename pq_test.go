@@ -187,3 +187,65 @@ func TestDrainOrderAllAlgorithmsAfterConcurrency(t *testing.T) {
 		})
 	}
 }
+
+func TestDrainAPI(t *testing.T) {
+	// pq.Drain is the snapshot iterator: it must empty the queue,
+	// return the full multiset in priority order (ascending for the
+	// quiescent/strict queues at quiescence), and compose with
+	// InsertBatch to restore the queue unchanged.
+	for _, alg := range pq.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			const npri = 8
+			q, err := pq.New[int](alg, npri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[int]int{}
+			for i := 0; i < 500; i++ {
+				pri := (i * 5) % npri
+				q.Insert(pri, i)
+				want[pri]++
+			}
+			items := pq.Drain(q)
+			if len(items) != 500 {
+				t.Fatalf("Drain returned %d items, want 500", len(items))
+			}
+			if _, ok := q.DeleteMin(); ok {
+				t.Fatal("queue not empty after Drain")
+			}
+			got := map[int]int{}
+			prev := -1
+			for _, it := range items {
+				got[it.Pri]++
+				if it.Pri < prev {
+					t.Fatalf("drain order regressed: %d after %d", it.Pri, prev)
+				}
+				prev = it.Pri
+			}
+			for pri, n := range want {
+				if got[pri] != n {
+					t.Fatalf("priority %d: drained %d, want %d", pri, got[pri], n)
+				}
+			}
+			// Restore and re-drain: the round trip must preserve the
+			// multiset (the server's non-destructive snapshot pattern).
+			pq.InsertBatch(q, items)
+			if again := pq.Drain(q); len(again) != 500 {
+				t.Fatalf("re-drain returned %d items, want 500", len(again))
+			}
+		})
+	}
+	if got := pq.Drain[int](mustQueue(t)); len(got) != 0 {
+		t.Fatalf("Drain of empty queue returned %d items", len(got))
+	}
+}
+
+func mustQueue(t *testing.T) pq.Queue[int] {
+	t.Helper()
+	q, err := pq.New[int](pq.FunnelTree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

@@ -17,7 +17,8 @@ set -eu
 GO=${GO:-go}
 BIN=${BIN:-bin}
 ADDR=${PQD_ADDR:-127.0.0.1:7942}
-OUT=${PQLOAD_JSON:-pqload-durable.json}
+OUT_DIR=${OUT_DIR:-artifacts}
+OUT=${PQLOAD_JSON:-$OUT_DIR/pqload-durable.json}
 DURATION=${DURATION:-2s}
 WORKERS=${WORKERS:-8}
 MAX_RATIO=${MAX_RATIO:-2.0}
@@ -25,6 +26,7 @@ DATA_DIR=${DATA_DIR:-$(mktemp -d)}
 
 $GO build -o "$BIN/pqd" ./cmd/pqd
 $GO build -o "$BIN/pqload" ./cmd/pqload
+mkdir -p "$OUT_DIR"
 
 rm -f "$OUT"
 

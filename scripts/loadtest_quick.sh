@@ -12,10 +12,13 @@ set -eu
 GO=${GO:-go}
 BIN=${BIN:-bin}
 ADDR=${PQD_ADDR:-127.0.0.1:7941}
-OUT=${PQLOAD_JSON:-pqload-smoke.json}
+OUT_DIR=${OUT_DIR:-artifacts}
+OUT=${PQLOAD_JSON:-$OUT_DIR/pqload-smoke.json}
+OVERLOAD_OUT=$OUT_DIR/pqload-overload.json
 
 $GO build -o "$BIN/pqd" ./cmd/pqd
 $GO build -o "$BIN/pqload" ./cmd/pqload
+mkdir -p "$OUT_DIR"
 
 "$BIN/pqd" -addr "$ADDR" \
   -queues "default:FunnelTree:64:4:5000,overload:FunnelTree:16:2:64" &
@@ -40,15 +43,15 @@ done
 
 # Overload run: a capacity-64 queue under insert-heavy load must shed.
 "$BIN/pqload" -addr "$ADDR" -queue overload \
-  -workers 8 -conns 4 -duration 1s -mix 0.9 -json pqload-overload.json
+  -workers 8 -conns 4 -duration 1s -mix 0.9 -json "$OVERLOAD_OUT"
 
 # Schema check on both documents. `go test` runs with the package
 # directory as cwd, so the paths must be absolute.
 BENCH_JSON="$PWD/$OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
-BENCH_JSON="$PWD/pqload-overload.json" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+BENCH_JSON="$PWD/$OVERLOAD_OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
 
 # The overload run must have observably shed (RETRY_AFTER count > 0).
-if ! grep -q '"server_retry_after": [1-9]' pqload-overload.json; then
+if ! grep -q '"server_retry_after": [1-9]' "$OVERLOAD_OUT"; then
   echo "loadtest_quick: admission control never shed under overload" >&2
   exit 1
 fi

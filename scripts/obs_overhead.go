@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Command obs_overhead compares the throughput of two pqload bench
+// files — metrics-on runs and metrics-off runs of the same workload
+// (see scripts/loadtest_obs.sh) — and fails when the best metrics-on
+// run lost more than the allowed fraction against the best metrics-off
+// run. Best-of-N is the noise-resistant statistic on a shared host:
+// interference only ever slows a run down, while a real recording
+// regression slows all of them, including the best. This is the
+// acceptance gate for the server's observability layer: recording must
+// be cheap enough that nobody is tempted to turn it off.
+//
+// Usage: go run scripts/obs_overhead.go <on.json,...> <off.json,...> <max-loss>
+// where each of the first two arguments is a comma-separated list of
+// bench files (one per round) and max-loss is a fraction (0.03 allows
+// a 3% throughput drop).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pq/internal/harness"
+)
+
+// throughput returns the best run across a comma-separated list of
+// bench files.
+func throughput(paths string) (float64, error) {
+	var best float64
+	for _, path := range strings.Split(paths, ",") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		var bf harness.BenchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return 0, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(bf.Runs) == 0 {
+			return 0, fmt.Errorf("%s: no runs", path)
+		}
+		for _, r := range bf.Runs {
+			if r.ThroughputOpsPerSec > best {
+				best = r.ThroughputOpsPerSec
+			}
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	if len(os.Args) != 4 {
+		fmt.Fprintln(os.Stderr, "usage: obs_overhead <on.json> <off.json> <max-loss>")
+		os.Exit(2)
+	}
+	on, err := throughput(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obs_overhead:", err)
+		os.Exit(1)
+	}
+	off, err := throughput(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obs_overhead:", err)
+		os.Exit(1)
+	}
+	maxLoss, err := strconv.ParseFloat(os.Args[3], 64)
+	if err != nil || maxLoss <= 0 {
+		fmt.Fprintln(os.Stderr, "obs_overhead: bad max-loss", os.Args[3])
+		os.Exit(2)
+	}
+	loss := (off - on) / off
+	fmt.Printf("obs_overhead: best metrics-on %.0f ops/s, best metrics-off %.0f ops/s, loss %.2f%% (budget %.2f%%)\n",
+		on, off, loss*100, maxLoss*100)
+	if loss > maxLoss {
+		fmt.Fprintf(os.Stderr, "obs_overhead: metrics recording costs %.2f%% throughput, budget is %.2f%%\n",
+			loss*100, maxLoss*100)
+		os.Exit(1)
+	}
+}
