@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
+.PHONY: all build test race bench bench-json bench-relaxed figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
 
 all: build test
 
@@ -45,6 +45,12 @@ repro-quick:
 # algorithm with latency quantiles, internals metrics and sim totals.
 bench-json:
 	$(GO) run ./cmd/pqbench -json BENCH_$$(date +%Y-%m-%d).json -metrics
+
+# Relaxed frontier: MultiQueue throughput vs measured rank error over
+# c and processor count, with FunnelTree as the exact baseline. The
+# full-scale table lands in EXPERIMENTS.md; SCALE=0.25 for a quick run.
+bench-relaxed:
+	GO="$(GO)" sh ./scripts/bench_relaxed.sh
 
 # Every figure plus the internals metrics report and latency histograms.
 figures:

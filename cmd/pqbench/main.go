@@ -9,6 +9,8 @@
 //	pqbench -experiment fig8 -csv out.csv # also dump raw points as CSV
 //	pqbench -metrics                      # internals counters for all queues
 //	pqbench -json out.json                # machine-readable bench suite
+//	pqbench -json o.json -alg multiqueue  # restrict the suite to named queues
+//	pqbench -frontier                     # MultiQueue throughput-vs-rank-error sweep
 //	pqbench -trace t.json -alg FunnelTree # Chrome/Perfetto trace of one run
 package main
 
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"pq/internal/harness"
@@ -48,7 +51,8 @@ func run(args []string) error {
 		metrics    = fs.Bool("metrics", false, "run the standard workload for every algorithm and print internals metrics")
 		jsonPath   = fs.String("json", "", "write the bench suite as machine-readable JSON to this file")
 		tracePath  = fs.String("trace", "", "write a Chrome/Perfetto trace of one workload run to this file")
-		alg        = fs.String("alg", "FunnelTree", "algorithm for -trace")
+		alg        = fs.String("alg", "", "comma-separated algorithms for -metrics/-json (default: the paper's seven exact queues), or the single algorithm for -trace (default FunnelTree)")
+		frontier   = fs.Bool("frontier", false, "measure the relaxed frontier: MultiQueue throughput vs rank error over c and processor count, with FunnelTree as the exact baseline")
 		procs      = fs.Int("procs", 256, "processors for -contention, -metrics, -json and -trace")
 		pris       = fs.Int("pris", 16, "priorities for -contention, -metrics, -json and -trace")
 		batch      = fs.Int("batch", 0, "also measure -metrics/-json runs with this many operations per batched queue access (0 disables)")
@@ -74,22 +78,37 @@ func run(args []string) error {
 		return fmt.Errorf("-scale must be in (0,1], got %g", *scale)
 	}
 	if *tracePath != "" {
-		return runTrace(*tracePath, simpq.Algorithm(*alg), *procs, *pris, *scale)
+		name := *alg
+		if name == "" {
+			name = string(simpq.AlgFunnelTree)
+		}
+		traceAlg, ok := simpq.ParseAlgorithm(name)
+		if !ok {
+			return fmt.Errorf("-trace: unknown algorithm %q (valid: %s)", name, algNames())
+		}
+		return runTrace(*tracePath, traceAlg, *procs, *pris, *scale)
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
+		}
+	}
+	if *frontier {
+		rep, err := harness.RunRelaxedFrontier(nil, nil, *pris, *scale, progress)
+		if err != nil {
+			return err
+		}
+		rep.Render(os.Stdout)
+		return nil
 	}
 	if *metrics || *jsonPath != "" {
-		progress := func(msg string) {
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
-			}
+		algs, err := parseAlgs(*alg)
+		if err != nil {
+			return err
 		}
-		return runBenchSuite(*jsonPath, *procs, *pris, *scale, *batch, *metrics, *doPlot, progress)
+		return runBenchSuite(*jsonPath, algs, *procs, *pris, *scale, *batch, *metrics, *doPlot, progress)
 	}
 	if *chaos {
-		progress := func(msg string) {
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
-			}
-		}
 		start := time.Now()
 		rep, err := harness.RunChaos(*scale, progress)
 		if err != nil {
@@ -115,11 +134,6 @@ func run(args []string) error {
 		exps = []*harness.Experiment{e}
 	}
 
-	progress := func(msg string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
-		}
-	}
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Printf("== %s (%s): %s ==\n", e.ID, e.PaperRef, e.Title)
@@ -146,6 +160,40 @@ func run(args []string) error {
 	return nil
 }
 
+// algNames lists every buildable algorithm — the paper's seven plus the
+// relaxed ones — for error messages.
+func algNames() string {
+	names := make([]string, 0, len(simpq.All()))
+	for _, a := range simpq.All() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, ", ")
+}
+
+// parseAlgs resolves a comma-separated -alg list (case-insensitive).
+// An empty string means the default strict suite (nil).
+func parseAlgs(s string) ([]simpq.Algorithm, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var algs []simpq.Algorithm
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		alg, ok := simpq.ParseAlgorithm(name)
+		if !ok {
+			return nil, fmt.Errorf("-alg: unknown algorithm %q (valid: %s)", name, algNames())
+		}
+		algs = append(algs, alg)
+	}
+	if len(algs) == 0 {
+		return nil, fmt.Errorf("-alg: no algorithms named (valid: %s)", algNames())
+	}
+	return algs, nil
+}
+
 // renderPlot draws the points as an ASCII line chart, one series per
 // algorithm, log-x when the sweep doubles (processor counts, priorities).
 func renderPlot(w io.Writer, pts []harness.Point) {
@@ -168,11 +216,12 @@ func renderPlot(w io.Writer, pts []harness.Point) {
 	plot.Render(w, plot.Config{Width: 72, Height: 18, LogX: logX, YLabel: "mean cycles/op"}, series)
 }
 
-// runBenchSuite runs the standard workload for every algorithm, writes
-// the machine-readable document when jsonPath is set, and prints the
-// human-readable metrics report when showMetrics is set.
-func runBenchSuite(jsonPath string, procs, pris int, scale float64, batch int, showMetrics, doPlot bool, progress func(string)) error {
-	bf, results, err := harness.RunBenchSuiteBatch(procs, pris, scale, batch, progress)
+// runBenchSuite runs the standard workload for every algorithm (or the
+// -alg subset), writes the machine-readable document when jsonPath is
+// set, and prints the human-readable metrics report when showMetrics is
+// set.
+func runBenchSuite(jsonPath string, algs []simpq.Algorithm, procs, pris int, scale float64, batch int, showMetrics, doPlot bool, progress func(string)) error {
+	bf, results, err := harness.RunBenchSuiteAlgs(algs, procs, pris, scale, batch, progress)
 	if err != nil {
 		return err
 	}
@@ -208,22 +257,22 @@ func runBenchSuite(jsonPath string, procs, pris int, scale float64, batch int, s
 	}
 	fmt.Println()
 
-	algs := make([]string, len(bf.Runs))
+	names := make([]string, len(bf.Runs))
 	internals := make([]map[string]float64, len(bf.Runs))
 	for i, r := range bf.Runs {
-		algs[i] = runName(r)
+		names[i] = runName(r)
 		internals[i] = r.Internals
 	}
-	plot.MetricsTable(os.Stdout, algs, internals)
+	plot.MetricsTable(os.Stdout, names, internals)
 
 	if doPlot {
 		fmt.Println()
 		for i, r := range results {
 			if r.InsertHist != nil {
-				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s insert latency", algs[i]), r.InsertHist)
+				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s insert latency", names[i]), r.InsertHist)
 			}
 			if r.DeleteHist != nil {
-				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s delete-min latency", algs[i]), r.DeleteHist)
+				plot.LatencyHistogram(os.Stdout, fmt.Sprintf("%s delete-min latency", names[i]), r.DeleteHist)
 			}
 			fmt.Println()
 		}

@@ -7,7 +7,10 @@
 //	pqd -addr :7070 -queues default:FunnelTree:64:4:100000
 //
 // Each -queues entry is name:algorithm:priorities[:shards[:capacity]];
-// capacity 0 means unbounded (no admission control). SIGTERM or SIGINT
+// capacity 0 means unbounded (no admission control). Relaxed algorithms
+// (multiqueue) are refused unless -relaxed is set, since their
+// delete-min may return an item while better ones remain queued.
+// SIGTERM or SIGINT
 // drains gracefully: the listener closes, every queue sheds new
 // inserts with RETRY_AFTER while delete-mins keep working, and the
 // daemon exits when clients disconnect (or the drain timeout forces
@@ -68,6 +71,8 @@ func run(args []string) error {
 		fsyncInterval = fs.Duration("fsync-interval", 10*time.Millisecond, "flush period for -fsync interval")
 		snapshotEvery = fs.Int("snapshot-every", 100000, "snapshot after this many log records (<0 disables)")
 
+		relaxed = fs.Bool("relaxed", false, "allow relaxed algorithms (MultiQueue) in -queues: delete-min may return an item while strictly better items remain queued")
+
 		adminAddr = fs.String("admin-addr", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
 		slowOp    = fs.Duration("slow-op", 0, "warn-log queue ops slower than this (0 disables)")
 		logFormat = fs.String("log-format", "text", "log output format: text or json")
@@ -110,6 +115,7 @@ func run(args []string) error {
 		Logger:           logger,
 		SlowOp:           *slowOp,
 		NoMetrics:        !*metrics,
+		AllowRelaxed:     *relaxed,
 		DataDir:          *dataDir,
 		Fsync:            fsyncPolicy,
 		FsyncInterval:    *fsyncInterval,
@@ -207,11 +213,11 @@ func parseQueueSpecs(s string) ([]server.QueueSpec, error) {
 		if len(parts) < 3 || len(parts) > 5 {
 			return nil, fmt.Errorf("bad queue spec %q: want name:alg:pris[:shards[:capacity]]", entry)
 		}
-		spec := server.QueueSpec{Name: parts[0], Algorithm: pq.Algorithm(parts[1])}
-		if !knownAlgorithm(spec.Algorithm) {
-			return nil, fmt.Errorf("bad queue spec %q: unknown algorithm %q (have %v)", entry, parts[1], pq.Algorithms())
+		alg, err := pq.ParseAlgorithm(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad queue spec %q: %w", entry, err)
 		}
-		var err error
+		spec := server.QueueSpec{Name: parts[0], Algorithm: alg}
 		if spec.Priorities, err = strconv.Atoi(parts[2]); err != nil || spec.Priorities < 1 {
 			return nil, fmt.Errorf("bad queue spec %q: priorities %q", entry, parts[2])
 		}
@@ -231,13 +237,4 @@ func parseQueueSpecs(s string) ([]server.QueueSpec, error) {
 		return nil, fmt.Errorf("no queues configured")
 	}
 	return specs, nil
-}
-
-func knownAlgorithm(a pq.Algorithm) bool {
-	for _, k := range pq.Algorithms() {
-		if k == a {
-			return true
-		}
-	}
-	return false
 }

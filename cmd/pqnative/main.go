@@ -55,9 +55,9 @@ func run(args []string) error {
 	if *algsFlag != "" {
 		algs = algs[:0]
 		for _, s := range strings.Split(*algsFlag, ",") {
-			a := pq.Algorithm(strings.TrimSpace(s))
-			if !knownAlgorithm(a) {
-				return fmt.Errorf("unknown algorithm %q (have %v)", a, pq.Algorithms())
+			a, err := pq.ParseAlgorithm(strings.TrimSpace(s))
+			if err != nil {
+				return err
 			}
 			algs = append(algs, a)
 		}
@@ -90,7 +90,7 @@ func run(args []string) error {
 			all := stats.Summarize(m.allLats)
 			fmt.Printf("%-14s %12d %14.0f %10.0f %10.0f %10.0f\n",
 				alg, g, m.opsPerSec, all.P50, all.P95, all.P99)
-			bf.Runs = append(bf.Runs, harness.BenchRun{
+			run := harness.BenchRun{
 				Algorithm:           string(alg),
 				Procs:               g,
 				Inserts:             m.inserts,
@@ -99,7 +99,14 @@ func run(args []string) error {
 				ThroughputOpsPerSec: m.opsPerSec,
 				Insert:              harness.LatencyFromSummary(stats.Summarize(m.insLats)),
 				Delete:              harness.LatencyFromSummary(stats.Summarize(m.delLats)),
-			})
+				Internals:           m.internals,
+			}
+			if m.internals != nil {
+				fmt.Printf("%-14s %12s rank mean %.2f  p99 %.0f  max %.0f\n",
+					"", "", m.internals["multiqueue.rank_mean"],
+					m.internals["multiqueue.rank_p99"], m.internals["multiqueue.rank_max"])
+			}
+			bf.Runs = append(bf.Runs, run)
 		}
 	}
 	if *jsonPath != "" {
@@ -120,15 +127,6 @@ func run(args []string) error {
 	return nil
 }
 
-func knownAlgorithm(a pq.Algorithm) bool {
-	for _, k := range pq.Algorithms() {
-		if k == a {
-			return true
-		}
-	}
-	return false
-}
-
 type measurement struct {
 	opsPerSec     float64
 	inserts       int
@@ -137,6 +135,9 @@ type measurement struct {
 	insLats       []float64
 	delLats       []float64
 	allLats       []float64
+	// internals carries the rank-error distribution when the algorithm
+	// is relaxed; nil for the exact queues.
+	internals map[string]float64
 }
 
 type goroutineTally struct {
@@ -178,6 +179,15 @@ func measure(alg pq.Algorithm, goroutines, pris, ops int) (measurement, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	var m measurement
+	if rs, ok := pq.RelaxStatsOf(q); ok {
+		m.internals = map[string]float64{
+			"multiqueue.rank_pops": float64(rs.Pops),
+			"multiqueue.rank_mean": rs.Mean(),
+			"multiqueue.rank_p50":  rs.Quantile(0.50),
+			"multiqueue.rank_p99":  rs.Quantile(0.99),
+			"multiqueue.rank_max":  float64(rs.RankMax),
+		}
+	}
 	for i := range perG {
 		t := &perG[i]
 		m.insLats = append(m.insLats, t.insLats...)

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"pq/internal/funnel"
 )
@@ -39,9 +40,52 @@ const (
 	FunnelTree    Algorithm = "FunnelTree"
 )
 
-// Algorithms lists every implementation in the paper's order.
+// MultiQueue is the relaxed queue of Williams & Sanders ("Engineering
+// MultiQueues"): c·p sequential heaps, insert into a random (or sticky)
+// heap, delete-min pops the better of two random tops. It is not in
+// Algorithms: delete-min may overtake better items (bounded expected
+// rank error), so callers must opt in explicitly.
+const MultiQueue Algorithm = "MultiQueue"
+
+// Algorithms lists the paper's implementations in its order. All of
+// them are strict or quiescently consistent; relaxed algorithms are
+// listed separately in RelaxedAlgorithms and never selected by default.
 var Algorithms = []Algorithm{
 	SingleLock, HuntEtAl, SkipList, SimpleLinear, SimpleTree, LinearFunnels, FunnelTree,
+}
+
+// RelaxedAlgorithms lists the implementations whose DeleteMin is only
+// approximately smallest-first.
+var RelaxedAlgorithms = []Algorithm{MultiQueue}
+
+// All lists every implementation: the paper's seven, then the relaxed
+// extensions.
+func All() []Algorithm {
+	out := make([]Algorithm, 0, len(Algorithms)+len(RelaxedAlgorithms))
+	out = append(out, Algorithms...)
+	return append(out, RelaxedAlgorithms...)
+}
+
+// IsRelaxed reports whether alg trades exact delete-min for throughput.
+func IsRelaxed(alg Algorithm) bool {
+	for _, r := range RelaxedAlgorithms {
+		if r == alg {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseAlgorithm resolves a case-insensitive algorithm name (strict or
+// relaxed). The canonical spelling is returned so callers can compare
+// against the constants.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	for _, a := range All() {
+		if strings.EqualFold(s, string(a)) {
+			return a, true
+		}
+	}
+	return "", false
 }
 
 // Config carries construction options shared by all queues.
@@ -61,8 +105,26 @@ type Config struct {
 	// priority — the fairness alternative of the paper's Section 3.2.
 	// SimpleLinear and SimpleTree use plain FIFO bins; LinearFunnels and
 	// FunnelTree use the hybrid funnel bin (elimination in the funnel,
-	// FIFO central storage).
+	// FIFO central storage). MultiQueue ties within one sub-heap follow
+	// the same discipline.
 	FIFOBins bool
+	// MultiQueueC is the MultiQueue over-provisioning factor: the queue
+	// keeps C × Concurrency sub-heaps. Zero selects 2, the Williams &
+	// Sanders default.
+	MultiQueueC int
+	// MultiQueueSticky makes MultiQueue reuse its random sub-heap choices
+	// for this many consecutive operations per goroutine before re-rolling
+	// (0 disables stickiness). Stickiness trades rank error for locality.
+	MultiQueueSticky int
+	// MultiQueuePopBatch makes MultiQueue DeleteMin refill a per-goroutine
+	// deletion buffer of this size from one locked sub-heap (0 or 1
+	// disables buffering). Buffered items remain visible to emptiness
+	// scans and Drain.
+	MultiQueuePopBatch int
+	// MultiQueueNoRank disables MultiQueue's rank-error accounting
+	// (normally on whenever Priorities is small enough to track), for
+	// benchmarking the raw queue.
+	MultiQueueNoRank bool
 }
 
 // New builds the named queue.
@@ -85,6 +147,8 @@ func New[V any](alg Algorithm, cfg Config) (Queue[V], error) {
 		return NewLinearFunnels[V](cfg), nil
 	case FunnelTree:
 		return NewFunnelTree[V](cfg), nil
+	case MultiQueue:
+		return NewMultiQueue[V](cfg), nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}

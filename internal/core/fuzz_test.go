@@ -114,6 +114,118 @@ func runDifferentialTape(t *testing.T, data []byte) {
 			t.Fatalf("%s: %d values lost", alg, len(outstanding))
 		}
 	}
+	runRelaxedTape(t, data)
+}
+
+// runRelaxedTape plays the same tape through MultiQueue against the
+// rank-aware relaxed oracle. A relaxed pop need not return the minimum,
+// so instead of value-for-value matching the oracle checks conservation
+// (each pop removes exactly one still-queued item via refpq.Remove),
+// emptiness (a pop fails only when the oracle is empty — exact
+// sequentially thanks to the full scan), and, for the unbuffered
+// config, that the queue's internal rank accounting agrees with
+// refpq.Rank at every pop.
+func runRelaxedTape(t *testing.T, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	npri := int(data[0]%16) + 1
+	tape := data[1:]
+	configs := []Config{
+		{Priorities: npri, Concurrency: 2},
+		{Priorities: npri, Concurrency: 2, MultiQueueC: 4, MultiQueueSticky: 4, MultiQueuePopBatch: 3},
+	}
+	for ci, cfg := range configs {
+		// Rank accounting fires when an item leaves its sub-heap; with
+		// deletion buffering that moment precedes delivery, so the oracle
+		// cross-check only applies to the unbuffered config.
+		checkRank := cfg.MultiQueuePopBatch <= 1
+		q, err := New[uint64](MultiQueue, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bq := q.(BatchQueue[uint64])
+		ref := refpq.New(npri)
+		seq := 0
+		wantRankSum := int64(0)
+		mkVal := func(pri int) uint64 {
+			v := uint64(seq)<<8 | uint64(pri)
+			seq++
+			return v
+		}
+		take := func(i int, it Item[uint64]) {
+			t.Helper()
+			if it.Pri != int(it.Val&0xff) {
+				t.Fatalf("multiqueue/%d op %d: item %+v reports wrong priority", ci, i, it)
+			}
+			if checkRank {
+				wantRankSum += int64(ref.Rank(it.Pri))
+			}
+			if !ref.Remove(it.Pri, it.Val) {
+				t.Fatalf("multiqueue/%d op %d: returned %+v which the oracle does not hold", ci, i, it)
+			}
+		}
+		for i, b := range tape {
+			switch b & 3 {
+			case 0:
+				pri := int(b>>2) % npri
+				v := mkVal(pri)
+				q.Insert(pri, v)
+				ref.Insert(pri, v)
+			case 1:
+				n := int(b>>2)%8 + 1
+				items := make([]Item[uint64], n)
+				for j := range items {
+					pri := (int(b>>2) + j*3) % npri
+					v := mkVal(pri)
+					items[j] = Item[uint64]{Pri: pri, Val: v}
+					ref.Insert(pri, v)
+				}
+				bq.InsertBatch(items)
+			case 2:
+				gv, gok := q.DeleteMin()
+				if gok != (ref.Len() > 0) {
+					t.Fatalf("multiqueue/%d op %d: ok %v with %d items queued", ci, i, gok, ref.Len())
+				}
+				if gok {
+					take(i, Item[uint64]{Pri: int(gv & 0xff), Val: gv})
+				}
+			case 3:
+				k := int(b>>2)%8 + 1
+				want := ref.Len()
+				if want > k {
+					want = k
+				}
+				got := bq.DeleteMinBatch(k)
+				if len(got) != want {
+					t.Fatalf("multiqueue/%d op %d: batch returned %d items, want %d", ci, i, len(got), want)
+				}
+				for _, it := range got {
+					take(i, it)
+				}
+			}
+		}
+		got := bq.DeleteMinBatch(ref.Len() + 1)
+		if len(got) != ref.Len() {
+			t.Fatalf("multiqueue/%d drain: %d items, want %d", ci, len(got), ref.Len())
+		}
+		for _, it := range got {
+			take(len(tape), it)
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("multiqueue/%d: %d values lost", ci, ref.Len())
+		}
+		rs := q.(RelaxedQueue).RelaxStats()
+		if !rs.Tracked {
+			t.Fatalf("multiqueue/%d: rank accounting off for %d priorities", ci, npri)
+		}
+		if int(rs.Pops) != seq {
+			t.Fatalf("multiqueue/%d: accounted %d pops, want %d", ci, rs.Pops, seq)
+		}
+		if checkRank && rs.RankSum != wantRankSum {
+			t.Fatalf("multiqueue/%d: accounted rank sum %d, oracle says %d", ci, rs.RankSum, wantRankSum)
+		}
+	}
 }
 
 // FuzzDifferential feeds randomized operation tapes through every
@@ -126,5 +238,9 @@ func FuzzDifferential(f *testing.F) {
 	f.Add([]byte{15, 1, 5, 9, 13, 3, 7, 11, 15, 2, 0, 3})
 	f.Add([]byte{0, 29, 3})
 	f.Add([]byte{11, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	// MultiQueue-targeted seeds: an all-ties tape (one priority) and a
+	// scan-heavy tape mixing empty deletes with scattered inserts.
+	f.Add([]byte{0, 0, 4, 8, 12, 16, 20, 24, 28, 5, 2, 2, 2, 2, 2, 2, 15, 3})
+	f.Add([]byte{15, 2, 3, 0, 60, 2, 2, 2, 17, 31, 11, 3, 3, 2})
 	f.Fuzz(runDifferentialTape)
 }

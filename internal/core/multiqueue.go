@@ -1,0 +1,512 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// multiQueue is the relaxed priority queue of Williams & Sanders
+// ("Engineering MultiQueues", arXiv 2107.01350): nq = ceilPow2(C·p)
+// sequential binary heaps, each under its own mutex. Insert pushes into
+// a random heap; DeleteMin peeks the cached top priorities of two random
+// heaps and pops from the better one. No operation ever waits for a
+// lock — TryLock failures re-roll — so the only global coordination is
+// the cache traffic on the per-heap top words.
+//
+// The price is relaxation: DeleteMin may return an item while up to
+// O(C·p) better ones sit in other heaps (expected rank error, with an
+// exponential tail). The queue measures that error exactly when the
+// priority range is small enough (see RelaxStats); internal/order's
+// CheckRelaxed and the refpq rank oracle verify it externally.
+//
+// Emptiness is exact at quiescence: an item's heap never changes between
+// insert and pop, and Insert publishes the heap's new top before
+// returning, so the full scan in popScan — which skips only heaps whose
+// top word says empty and retries while any skipped heap was lock-busy —
+// cannot miss an item whose Insert completed before DeleteMin began.
+type multiQueue[V any] struct {
+	npri     int
+	fifo     bool
+	mask     uint64
+	qs       []mqLocal[V]
+	seq      atomic.Uint64 // global tie-break sequence for FIFO/LIFO bins
+	sticky   int
+	popBatch int
+
+	// Per-goroutine slots carry sticky choices and the deletion buffer.
+	// They live in a sync.Pool for affinity, but every slot is also kept
+	// in slots so popScan and Drain can see buffered items.
+	useSlots bool
+	slotPool sync.Pool
+	slotMu   sync.Mutex
+	slots    []*mqSlot[V]
+
+	// Rank-error accounting (nil present disables it): present counts
+	// queued items per priority, so a pop's rank error is the number of
+	// strictly-better items present. ranks is an exact rank histogram;
+	// its last entry aggregates the tail.
+	present []atomic.Int64
+	pops    atomic.Int64
+	rankSum atomic.Int64
+	rankMax atomic.Int64
+	ranks   []atomic.Int64
+}
+
+// mqRankBuckets bounds both the exact rank histogram and the priority
+// range we are willing to prefix-sum on every pop.
+const mqRankBuckets = 4096
+
+// mqEmptyTop is the top-priority cache value of an empty sub-heap. It
+// compares greater than any real priority.
+const mqEmptyTop = int64(1) << 62
+
+// mqLocal is one sequential sub-heap. top caches h[0].pri (or
+// mqEmptyTop) so DeleteMin can compare candidates without locking; it is
+// updated before the mutex is released. The pad keeps hot neighbours off
+// one cache line.
+type mqLocal[V any] struct {
+	mu  sync.Mutex
+	top atomic.Int64
+	h   []mqEnt[V]
+	_   [64]byte
+}
+
+type mqEnt[V any] struct {
+	pri int
+	seq uint64
+	val V
+}
+
+// mqSlot is per-goroutine state: the sticky sub-heap choices and the
+// deletion buffer. buf[head:] holds popped-but-undelivered items.
+type mqSlot[V any] struct {
+	mu   sync.Mutex
+	buf  []Item[V]
+	head int
+
+	left int // sticky operations remaining before a re-roll
+	insQ uint64
+	delA uint64
+	delB uint64
+}
+
+// NewMultiQueue builds a MultiQueue from cfg (see the MultiQueue* Config
+// fields). The zero knobs give the Williams & Sanders baseline: C=2, no
+// stickiness, no buffering.
+func NewMultiQueue[V any](cfg Config) Queue[V] {
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	c := cfg.MultiQueueC
+	if c <= 0 {
+		c = 2
+	}
+	nq := ceilPow2(c * conc)
+	if nq < 2 {
+		nq = 2
+	}
+	q := &multiQueue[V]{
+		npri:     cfg.Priorities,
+		fifo:     cfg.FIFOBins,
+		mask:     uint64(nq - 1),
+		qs:       make([]mqLocal[V], nq),
+		sticky:   cfg.MultiQueueSticky,
+		popBatch: cfg.MultiQueuePopBatch,
+	}
+	for i := range q.qs {
+		q.qs[i].top.Store(mqEmptyTop)
+	}
+	q.useSlots = q.sticky > 0 || q.popBatch > 1
+	if q.useSlots {
+		q.slotPool.New = func() any {
+			s := &mqSlot[V]{}
+			q.slotMu.Lock()
+			q.slots = append(q.slots, s)
+			q.slotMu.Unlock()
+			return s
+		}
+	}
+	if !cfg.MultiQueueNoRank && cfg.Priorities <= mqRankBuckets {
+		q.present = make([]atomic.Int64, cfg.Priorities)
+		q.ranks = make([]atomic.Int64, mqRankBuckets+1)
+	}
+	return q
+}
+
+func (q *multiQueue[V]) NumPriorities() int { return q.npri }
+
+// less orders heap entries: by priority, then by the global insertion
+// sequence (FIFO under FIFOBins, otherwise LIFO like the paper's bins).
+func (q *multiQueue[V]) less(a, b mqEnt[V]) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	if q.fifo {
+		return a.seq < b.seq
+	}
+	return a.seq > b.seq
+}
+
+// pushLocked adds an entry to l (whose mutex is held) and republishes
+// its top.
+func (q *multiQueue[V]) pushLocked(l *mqLocal[V], pri int, v V) {
+	l.h = append(l.h, mqEnt[V]{pri: pri, seq: q.seq.Add(1), val: v})
+	for i := len(l.h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(l.h[i], l.h[p]) {
+			break
+		}
+		l.h[i], l.h[p] = l.h[p], l.h[i]
+		i = p
+	}
+	l.top.Store(int64(l.h[0].pri))
+	if q.present != nil {
+		q.present[pri].Add(1)
+	}
+}
+
+// popLocked removes up to k entries from l (whose mutex is held),
+// recording each pop's rank error.
+func (q *multiQueue[V]) popLocked(l *mqLocal[V], k int, out []Item[V]) []Item[V] {
+	for len(l.h) > 0 && k > 0 {
+		ent := l.h[0]
+		last := len(l.h) - 1
+		l.h[0] = l.h[last]
+		var zero mqEnt[V]
+		l.h[last] = zero
+		l.h = l.h[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(l.h) {
+				break
+			}
+			if c+1 < len(l.h) && q.less(l.h[c+1], l.h[c]) {
+				c++
+			}
+			if !q.less(l.h[c], l.h[i]) {
+				break
+			}
+			l.h[i], l.h[c] = l.h[c], l.h[i]
+			i = c
+		}
+		q.noteRank(ent.pri)
+		out = append(out, Item[V]{Pri: ent.pri, Val: ent.val})
+		k--
+	}
+	if len(l.h) == 0 {
+		l.top.Store(mqEmptyTop)
+	} else {
+		l.top.Store(int64(l.h[0].pri))
+	}
+	return out
+}
+
+// noteRank records one pop's rank error: the number of strictly-better
+// items present across all sub-heaps at pop time. Concurrent inserts and
+// pops make individual per-priority reads transiently stale, but each
+// counter is exact at quiescence, so sequential tests see exact ranks.
+func (q *multiQueue[V]) noteRank(pri int) {
+	if q.present == nil {
+		return
+	}
+	rank := int64(0)
+	for p := 0; p < pri; p++ {
+		if n := q.present[p].Load(); n > 0 {
+			rank += n
+		}
+	}
+	q.present[pri].Add(-1)
+	q.pops.Add(1)
+	q.rankSum.Add(rank)
+	idx := rank
+	if idx >= int64(len(q.ranks)) {
+		idx = int64(len(q.ranks)) - 1
+	}
+	q.ranks[idx].Add(1)
+	for {
+		cur := q.rankMax.Load()
+		if rank <= cur || q.rankMax.CompareAndSwap(cur, rank) {
+			break
+		}
+	}
+}
+
+func (q *multiQueue[V]) getSlot() *mqSlot[V] { return q.slotPool.Get().(*mqSlot[V]) }
+
+// pick returns a uniformly random sub-heap index.
+func (q *multiQueue[V]) pick() uint64 { return rand.Uint64() & q.mask }
+
+func (q *multiQueue[V]) Insert(pri int, v V) {
+	checkPri(pri, q.npri)
+	if !q.useSlots {
+		q.insertLoop(pri, v, nil)
+		return
+	}
+	s := q.getSlot()
+	q.insertLoop(pri, v, s)
+	q.slotPool.Put(s)
+}
+
+func (q *multiQueue[V]) insertLoop(pri int, v V, s *mqSlot[V]) {
+	for {
+		var i uint64
+		if s != nil && q.sticky > 0 {
+			if s.left <= 0 {
+				s.insQ, s.delA, s.delB = q.pick(), q.pick(), q.pick()
+				s.left = q.sticky
+			}
+			i = s.insQ
+		} else {
+			i = q.pick()
+		}
+		l := &q.qs[i]
+		if !l.mu.TryLock() {
+			if s != nil {
+				s.left = 0 // contended choice: re-roll next time
+			}
+			continue
+		}
+		q.pushLocked(l, pri, v)
+		l.mu.Unlock()
+		if s != nil && q.sticky > 0 {
+			s.left--
+		}
+		return
+	}
+}
+
+func (q *multiQueue[V]) DeleteMin() (V, bool) {
+	var zero V
+	if !q.useSlots {
+		out := q.popSome(nil, 1, nil)
+		if len(out) == 0 {
+			return zero, false
+		}
+		return out[0].Val, true
+	}
+	s := q.getSlot()
+	s.mu.Lock()
+	if s.head < len(s.buf) {
+		it := s.buf[s.head]
+		s.buf[s.head] = Item[V]{}
+		s.head++
+		s.mu.Unlock()
+		q.slotPool.Put(s)
+		return it.Val, true
+	}
+	s.mu.Unlock()
+	n := q.popBatch
+	if n < 1 {
+		n = 1
+	}
+	out := q.popSome(s, n, nil)
+	if len(out) == 0 {
+		q.slotPool.Put(s)
+		return zero, false
+	}
+	if len(out) > 1 {
+		s.mu.Lock()
+		s.buf = append(s.buf[:0], out[1:]...)
+		s.head = 0
+		s.mu.Unlock()
+	}
+	q.slotPool.Put(s)
+	return out[0].Val, true
+}
+
+// popSome pops up to k items from one sub-heap chosen by the two-choice
+// rule, appending to out. An unchanged length means the queue was empty
+// (per a full clean scan), not merely that the candidates were.
+func (q *multiQueue[V]) popSome(s *mqSlot[V], k int, out []Item[V]) []Item[V] {
+	for {
+		var a, b uint64
+		if s != nil && q.sticky > 0 {
+			if s.left <= 0 {
+				s.insQ, s.delA, s.delB = q.pick(), q.pick(), q.pick()
+				s.left = q.sticky
+			}
+			a, b = s.delA, s.delB
+		} else {
+			a, b = q.pick(), q.pick()
+		}
+		la, lb := &q.qs[a], &q.qs[b]
+		ta, tb := la.top.Load(), lb.top.Load()
+		if ta == mqEmptyTop && tb == mqEmptyTop {
+			return q.popScan(s, k, out)
+		}
+		best := la
+		if tb < ta {
+			best = lb
+		}
+		if !best.mu.TryLock() {
+			if s != nil {
+				s.left = 0
+			}
+			continue
+		}
+		got := q.popLocked(best, k, out)
+		best.mu.Unlock()
+		if len(got) > len(out) {
+			if s != nil && q.sticky > 0 {
+				s.left--
+			}
+			return got
+		}
+		// The candidate drained between peek and lock; try again.
+		if s != nil {
+			s.left = 0
+		}
+	}
+}
+
+// popScan is the slow path when both sampled tops were empty: serve any
+// slot's deletion buffer, then sweep every sub-heap, skipping those
+// whose top word says empty and retrying the sweep while any non-empty
+// heap was lock-busy. Returning out unchanged means the queue is empty:
+// every heap showed an empty top in one pass with no busy locks (sound —
+// see the type comment), and every deletion buffer was empty.
+func (q *multiQueue[V]) popScan(self *mqSlot[V], k int, out []Item[V]) []Item[V] {
+	start := len(out)
+	for {
+		if q.useSlots {
+			q.slotMu.Lock()
+			slots := make([]*mqSlot[V], len(q.slots))
+			copy(slots, q.slots)
+			q.slotMu.Unlock()
+			for _, s := range slots {
+				if s == self {
+					continue // self's buffer is known-empty (and its mu may be hot)
+				}
+				s.mu.Lock()
+				for s.head < len(s.buf) && len(out)-start < k {
+					out = append(out, s.buf[s.head])
+					s.buf[s.head] = Item[V]{}
+					s.head++
+				}
+				s.mu.Unlock()
+				if len(out) > start {
+					return out
+				}
+			}
+		}
+		busy := false
+		for i := range q.qs {
+			l := &q.qs[i]
+			if l.top.Load() == mqEmptyTop {
+				continue
+			}
+			if !l.mu.TryLock() {
+				busy = true
+				continue
+			}
+			got := q.popLocked(l, k, out)
+			l.mu.Unlock()
+			if len(got) > start {
+				return got
+			}
+		}
+		if !busy {
+			return out
+		}
+	}
+}
+
+// InsertBatch pushes the whole batch into one sub-heap under one lock
+// hold — the insertion-buffering path of Williams & Sanders, where a
+// batch trades a transient rank-error bump for a single synchronization.
+func (q *multiQueue[V]) InsertBatch(items []Item[V]) {
+	runs := groupByPri(items, q.npri)
+	if len(runs) == 0 {
+		return
+	}
+	var s *mqSlot[V]
+	if q.useSlots {
+		s = q.getSlot()
+	}
+	for {
+		var i uint64
+		if s != nil && q.sticky > 0 {
+			if s.left <= 0 {
+				s.insQ, s.delA, s.delB = q.pick(), q.pick(), q.pick()
+				s.left = q.sticky
+			}
+			i = s.insQ
+		} else {
+			i = q.pick()
+		}
+		l := &q.qs[i]
+		if !l.mu.TryLock() {
+			if s != nil {
+				s.left = 0
+			}
+			continue
+		}
+		for _, run := range runs {
+			for _, v := range run.vals {
+				q.pushLocked(l, run.pri, v)
+			}
+		}
+		l.mu.Unlock()
+		if s != nil && q.sticky > 0 {
+			s.left--
+		}
+		break
+	}
+	if s != nil {
+		q.slotPool.Put(s)
+	}
+}
+
+// DeleteMinBatch drains the goroutine's deletion buffer first, then
+// takes two-choice rounds until k items are out or a full scan proves
+// the queue empty. Items arrive in per-round nondecreasing priority, but
+// the concatenation is only approximately sorted — the relaxed contract.
+func (q *multiQueue[V]) DeleteMinBatch(k int) []Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	var out []Item[V]
+	var s *mqSlot[V]
+	if q.useSlots {
+		s = q.getSlot()
+		s.mu.Lock()
+		for s.head < len(s.buf) && len(out) < k {
+			out = append(out, s.buf[s.head])
+			s.buf[s.head] = Item[V]{}
+			s.head++
+		}
+		s.mu.Unlock()
+	}
+	for len(out) < k {
+		got := q.popSome(s, k-len(out), out)
+		if len(got) == len(out) {
+			break
+		}
+		out = got
+	}
+	if s != nil {
+		q.slotPool.Put(s)
+	}
+	return out
+}
+
+// RelaxStats reports the measured rank-error distribution (see the
+// RelaxStats type). Tracked is false when accounting was disabled by
+// MultiQueueNoRank or a priority range beyond mqRankBuckets.
+func (q *multiQueue[V]) RelaxStats() RelaxStats {
+	st := RelaxStats{Tracked: q.present != nil}
+	if !st.Tracked {
+		return st
+	}
+	st.Pops = q.pops.Load()
+	st.RankSum = q.rankSum.Load()
+	st.RankMax = q.rankMax.Load()
+	st.Counts = make([]int64, len(q.ranks))
+	for i := range q.ranks {
+		st.Counts[i] = q.ranks[i].Load()
+	}
+	return st
+}

@@ -1,0 +1,88 @@
+package core
+
+// RelaxStats is the measured rank-error distribution of a relaxed
+// queue. A pop's rank error is the number of strictly-better items
+// present in the queue at pop time — 0 for an exact delete-min. The
+// Williams & Sanders analysis bounds the expectation by O(C·p) with an
+// exponential tail; these counters let tests and dashboards check that
+// against reality.
+type RelaxStats struct {
+	// Pops counts accounted delete-mins, RankSum their total rank error
+	// and RankMax the worst single pop.
+	Pops    int64
+	RankSum int64
+	RankMax int64
+	// Counts[r] counts pops with rank error exactly r; the last entry
+	// aggregates the tail at or beyond len(Counts)-1.
+	Counts []int64
+	// Tracked is false when accounting was disabled (by configuration or
+	// a priority range too large to track); the other fields are then
+	// zero.
+	Tracked bool
+}
+
+// Mean reports the average rank error, or 0 with no pops.
+func (s RelaxStats) Mean() float64 {
+	if s.Pops == 0 {
+		return 0
+	}
+	return float64(s.RankSum) / float64(s.Pops)
+}
+
+// Quantile reports the smallest rank r such that at least p (in [0,1])
+// of all pops had rank error <= r. The overflow bucket reports RankMax.
+func (s RelaxStats) Quantile(p float64) float64 {
+	if s.Pops == 0 {
+		return 0
+	}
+	need := int64(p * float64(s.Pops))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for r, c := range s.Counts {
+		cum += c
+		if cum >= need {
+			if r == len(s.Counts)-1 {
+				return float64(s.RankMax)
+			}
+			return float64(r)
+		}
+	}
+	return float64(s.RankMax)
+}
+
+// Merge combines two distributions (e.g. across shards).
+func (s RelaxStats) Merge(o RelaxStats) RelaxStats {
+	if !o.Tracked {
+		return s
+	}
+	if !s.Tracked {
+		return o
+	}
+	out := RelaxStats{
+		Pops:    s.Pops + o.Pops,
+		RankSum: s.RankSum + o.RankSum,
+		RankMax: max(s.RankMax, o.RankMax),
+		Tracked: true,
+	}
+	n := max(len(s.Counts), len(o.Counts))
+	out.Counts = make([]int64, n)
+	copy(out.Counts, s.Counts)
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	return out
+}
+
+// RelaxedQueue is implemented by relaxed algorithms; strict queues never
+// implement it, so a type assertion doubles as an IsRelaxed check on a
+// live queue.
+type RelaxedQueue interface {
+	RelaxStats() RelaxStats
+}
+
+var (
+	_ BatchQueue[int] = (*multiQueue[int])(nil)
+	_ RelaxedQueue    = (*multiQueue[int])(nil)
+)

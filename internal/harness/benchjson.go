@@ -31,9 +31,13 @@ const (
 // BenchFile is the top-level document: one standard-workload run per
 // algorithm under a single machine configuration.
 type BenchFile struct {
-	Schema     string     `json:"schema"`
-	Suite      string     `json:"suite,omitempty"`     // SuiteSim when empty
-	Generated  string     `json:"generated,omitempty"` // RFC 3339, caller-stamped
+	Schema    string `json:"schema"`
+	Suite     string `json:"suite,omitempty"`     // SuiteSim when empty
+	Generated string `json:"generated,omitempty"` // RFC 3339, caller-stamped
+	// Algorithms, when non-empty, names the algorithms this document was
+	// restricted to (`pqbench -alg`); the validator then requires exactly
+	// these instead of the full default set.
+	Algorithms []string   `json:"algorithms,omitempty"`
 	Procs      int        `json:"procs"`
 	Priorities int        `json:"priorities"`
 	Scale      float64    `json:"scale"`
@@ -112,6 +116,15 @@ func RunBenchSuite(procs, pris int, scale float64, progress func(string)) (*Benc
 // operations and once with batch-sized accesses — in one document, so
 // the two can be compared point-for-point.
 func RunBenchSuiteBatch(procs, pris int, scale float64, batch int, progress func(string)) (*BenchFile, []simpq.Result, error) {
+	return RunBenchSuiteAlgs(nil, procs, pris, scale, batch, progress)
+}
+
+// RunBenchSuiteAlgs is RunBenchSuiteBatch restricted to an explicit
+// algorithm subset (`pqbench -alg`). The subset — which may include
+// relaxed algorithms the default suite never touches — is recorded in
+// the document's Algorithms field so the validator checks exactly what
+// was requested. A nil algs runs the default strict suite.
+func RunBenchSuiteAlgs(algs []simpq.Algorithm, procs, pris int, scale float64, batch int, progress func(string)) (*BenchFile, []simpq.Result, error) {
 	cfg := simpq.DefaultWorkload()
 	cfg.OpsPerProc = scaleOps(cfg.OpsPerProc, scale)
 	cfg.KeepLatencies = true
@@ -121,15 +134,22 @@ func RunBenchSuiteBatch(procs, pris int, scale float64, batch int, progress func
 		Priorities: pris,
 		Scale:      scale,
 	}
+	if algs == nil {
+		algs = simpq.Algorithms
+	} else {
+		for _, alg := range algs {
+			bf.Algorithms = append(bf.Algorithms, string(alg))
+		}
+	}
 	batches := []int{0}
 	if batch > 1 {
 		batches = append(batches, batch)
 	}
-	results := make([]simpq.Result, 0, len(simpq.Algorithms)*len(batches))
+	results := make([]simpq.Result, 0, len(algs)*len(batches))
 	for _, b := range batches {
 		runCfg := cfg
 		runCfg.Batch = b
-		for _, alg := range simpq.Algorithms {
+		for _, alg := range algs {
 			if progress != nil {
 				progress(fmt.Sprintf("bench %s procs=%d batch=%d", alg, procs, b))
 			}
@@ -220,9 +240,29 @@ func (bf *BenchFile) Validate() error {
 		if len(r.Internals) == 0 {
 			return fmt.Errorf("%s: no internals metrics", r.Algorithm)
 		}
+		// A relaxed sim run without its rank-error distribution is not a
+		// usable measurement: the error side of the trade-off is missing.
+		if simpq.IsRelaxed(simpq.Algorithm(r.Algorithm)) {
+			for _, k := range []string{"multiqueue.rank_pops", "multiqueue.rank_mean", "multiqueue.rank_p99"} {
+				if _, ok := r.Internals[k]; !ok {
+					return fmt.Errorf("%s: relaxed run missing rank internals %q", r.Algorithm, k)
+				}
+			}
+		}
 	}
 	if suite == SuiteSim {
-		for _, alg := range simpq.Algorithms {
+		want := simpq.Algorithms
+		if len(bf.Algorithms) > 0 {
+			want = nil
+			for _, name := range bf.Algorithms {
+				alg, ok := simpq.ParseAlgorithm(name)
+				if !ok {
+					return fmt.Errorf("algorithms lists unknown %q", name)
+				}
+				want = append(want, alg)
+			}
+		}
+		for _, alg := range want {
 			if !seen[string(alg)+"/0/0"] {
 				return fmt.Errorf("missing run for %q", alg)
 			}

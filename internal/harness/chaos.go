@@ -88,18 +88,52 @@ type ChaosReport struct {
 	Cells       []ChaosCell
 }
 
-// RunChaos executes the fault matrix over all seven algorithms. scale
+// scaleFaultTimes returns a copy of plan with its time-anchored faults
+// (crash cycles, degradation windows) multiplied by scale. A scaled-down
+// run finishes proportionally earlier, so without this a quick run's
+// crashes would fire after fast algorithms have already drained — the
+// miniature must hit the same phases of the run the full-scale plan
+// does. Stall streams are recurring, not anchored, so they need no
+// adjustment.
+func scaleFaultTimes(plan *sim.FaultPlan, scale float64) *sim.FaultPlan {
+	if plan == nil || scale == 1 {
+		return plan
+	}
+	scaled := &sim.FaultPlan{
+		Stalls:   plan.Stalls,
+		Crashes:  append([]sim.Crash(nil), plan.Crashes...),
+		Degrades: append([]sim.Degrade(nil), plan.Degrades...),
+	}
+	at := func(t int64) int64 {
+		if s := int64(float64(t) * scale); s > 1 {
+			return s
+		}
+		return 1
+	}
+	for i := range scaled.Crashes {
+		scaled.Crashes[i].At = at(scaled.Crashes[i].At)
+	}
+	for i := range scaled.Degrades {
+		scaled.Degrades[i].From = at(scaled.Degrades[i].From)
+		scaled.Degrades[i].Until = at(scaled.Degrades[i].Until)
+	}
+	return scaled
+}
+
+// RunChaos executes the fault matrix over every algorithm — the paper's
+// seven plus the relaxed MultiQueue, whose priority reorderings land in
+// the Inversions column like the quiescently consistent queues'. scale
 // shrinks the per-processor operation count exactly like experiment
-// runs.
+// runs; crash cycles and degradation windows shrink with it.
 func RunChaos(scale float64, progress func(string)) (*ChaosReport, error) {
 	cfg := simpq.DefaultWorkload()
 	cfg.OpsPerProc = scaleOps(40, scale)
 	rep := &ChaosReport{Procs: chaosProcs, Pris: chaosPris}
 	for _, plan := range ChaosPlans() {
-		for _, alg := range simpq.Algorithms {
+		for _, alg := range simpq.All() {
 			progress(fmt.Sprintf("%s / %s", plan.Name, alg))
 			simCfg := sim.DefaultConfig(chaosProcs)
-			simCfg.Faults = plan.Plan
+			simCfg.Faults = scaleFaultTimes(plan.Plan, scale)
 			simCfg.WatchdogCycles = chaosWatchdog
 			r, err := simpq.ChaosWorkload(alg, chaosPris, cfg, simCfg)
 			if err != nil {

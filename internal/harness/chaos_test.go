@@ -16,7 +16,7 @@ func TestChaosMatrixClassifiesEveryAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCells := len(ChaosPlans()) * len(simpq.Algorithms)
+	wantCells := len(ChaosPlans()) * len(simpq.All())
 	if len(rep.Cells) != wantCells {
 		t.Fatalf("got %d cells, want %d", len(rep.Cells), wantCells)
 	}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRelaxedFrontier runs a miniature sweep and checks the report's
+// structural promises: every (config, procs) cell is measured, the
+// exact baseline reports zero rank error, the relaxed points carry a
+// rank distribution, and the rendered table names every block.
+func TestRelaxedFrontier(t *testing.T) {
+	cs := []int{2, 4}
+	procs := []int{4, 8}
+	rep, err := RunRelaxedFrontier(cs, procs, 16, 0.25, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(procs) * (len(cs) + 1)
+	if len(rep.Points) != wantPoints {
+		t.Fatalf("got %d points, want %d", len(rep.Points), wantPoints)
+	}
+	for _, p := range rep.Points {
+		if p.ThroughputOpsPerKCycle <= 0 {
+			t.Errorf("%s c=%d procs=%d: throughput not populated", p.Algorithm, p.C, p.Procs)
+		}
+		if p.Algorithm == "FunnelTree" {
+			if p.RankMean != 0 || p.RankMax != 0 {
+				t.Errorf("exact baseline reports rank error: %+v", p)
+			}
+		} else if p.C < 1 {
+			t.Errorf("relaxed point without c: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"-- 4 processors --", "-- 8 processors --", "MultiQueue c=2", "MultiQueue c=4", "FunnelTree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered frontier missing %q", want)
+		}
+	}
+}

@@ -29,6 +29,11 @@
 // deletes ("batch-order"). Quiescently consistent implementations — the
 // funnel-based queues — are checked with CheckQuiescent, which relaxes
 // the conditions to busy-period granularity.
+//
+// Relaxed queues (the MultiQueue family), whose DeleteMin is only
+// approximately smallest-first, are checked with CheckRelaxed: the
+// priority rule becomes a configurable rank-error bound while
+// uniqueness, precedence and emptiness stay exact.
 package order
 
 import (
@@ -107,8 +112,8 @@ func Check(history []Op) []Violation {
 // every report is a real inconsistency under every possible linearization
 // of the pending operations.
 func CheckTruncated(history []Op, pending []PendingOp) []Violation {
-	out := checkBatches(history)
-	return append(out, checkCore(history, pending)...)
+	out := checkBatches(history, true)
+	return append(out, checkCore(history, pending, 0)...)
 }
 
 // CheckQuiescent verifies a history against quiescent consistency, the
@@ -151,14 +156,17 @@ func CheckQuiescent(history []Op) []Violation {
 		}
 		i = j
 	}
-	return checkCore(widened, nil)
+	return checkCore(widened, nil, 0)
 }
 
 // checkBatches verifies the batch conditions: sub-operations sharing a
 // batch id must agree on kind and interval ("batch"), and a delete batch
-// must behave like sequential deletes — nondecreasing priorities in
-// production order, and no success after it reported dry ("batch-order").
-func checkBatches(history []Op) []Violation {
+// must behave like sequential deletes — no success after it reported dry
+// and, when strictOrder is set, nondecreasing priorities in production
+// order ("batch-order"). Relaxed queues drop the monotonicity clause:
+// their batch is k relaxed pops, each free to overtake within its rank
+// bound.
+func checkBatches(history []Op, strictOrder bool) []Violation {
 	var out []Violation
 	type group struct {
 		kind       Kind
@@ -206,7 +214,7 @@ func checkBatches(history []Op) []Violation {
 						id, op.Val),
 				})
 			}
-			if op.Pri < lastPri {
+			if strictOrder && op.Pri < lastPri {
 				out = append(out, Violation{
 					Rule: "batch-order",
 					Detail: fmt.Sprintf("batch %d: priority %d returned after priority %d",
@@ -220,8 +228,10 @@ func checkBatches(history []Op) []Violation {
 }
 
 // checkCore applies the interval-based necessary conditions shared by all
-// checking modes.
-func checkCore(history []Op, pending []PendingOp) []Violation {
+// checking modes. maxRank 0 is the strict priority rule; a positive
+// maxRank relaxes it to the rank-error rule: a successful delete may
+// overtake up to maxRank definitely-present better items.
+func checkCore(history []Op, pending []PendingOp, maxRank int) []Violation {
 	var out []Violation
 
 	pendingInserts := map[uint64]*PendingOp{}
@@ -348,11 +358,21 @@ func checkCore(history []Op, pending []PendingOp) []Violation {
 			}
 			witnesses++
 		}
-		if witnesses <= excused {
+		allowed := excused
+		if d.OK {
+			allowed += maxRank
+		}
+		if witnesses <= allowed {
 			continue
 		}
 		// One witness per delete keeps reports readable.
-		if d.OK {
+		if d.OK && maxRank > 0 {
+			out = append(out, Violation{
+				Rule: "rank-error",
+				Detail: fmt.Sprintf("delete [%d,%d] returned pri %d with %d definitely-present better items (bound %d), e.g. value %#x (pri %d)",
+					d.Start, d.End, d.Pri, witnesses, maxRank, witVal, witIns.Pri),
+			})
+		} else if d.OK {
 			out = append(out, Violation{
 				Rule: "priority",
 				Detail: fmt.Sprintf("delete [%d,%d] returned pri %d but value %#x (pri %d) was definitely present",

@@ -1,0 +1,121 @@
+package order
+
+import "testing"
+
+// hasRule reports whether any violation has the given rule name.
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRelaxedRankBound pins the contract split: a pop that overtakes two
+// definitely-present better items is a strict priority violation, legal
+// under a rank bound of 2, and a rank-error violation under a bound of 1.
+func TestRelaxedRankBound(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 0, Val: 2, OK: true, Start: 2, End: 3},
+		{Kind: Insert, Pri: 5, Val: 3, OK: true, Start: 4, End: 5},
+		{Kind: DeleteMin, Pri: 5, Val: 3, OK: true, Start: 6, End: 7},
+	}
+	if vs := Check(h); !hasRule(vs, "priority") {
+		t.Fatalf("strict Check must reject the overtaking pop, got %v", vs)
+	}
+	if vs := CheckRelaxed(h, RelaxedBound{MaxRank: 2}); len(vs) != 0 {
+		t.Fatalf("rank bound 2 must allow overtaking 2 items, got %v", vs)
+	}
+	vs := CheckRelaxed(h, RelaxedBound{MaxRank: 1})
+	if !hasRule(vs, "rank-error") {
+		t.Fatalf("rank bound 1 must report rank-error for 2 witnesses, got %v", vs)
+	}
+	if hasRule(vs, "priority") {
+		t.Fatalf("relaxed mode must report rank-error, not priority: %v", vs)
+	}
+}
+
+// TestRelaxedZeroBoundIsStrict: MaxRank 0 degenerates to the strict
+// priority rule (with its strict rule name).
+func TestRelaxedZeroBoundIsStrict(t *testing.T) {
+	h := []Op{
+		{Kind: Insert, Pri: 0, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 5, Val: 2, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 5, Val: 2, OK: true, Start: 4, End: 5},
+	}
+	if vs := CheckRelaxed(h, RelaxedBound{}); !hasRule(vs, "priority") {
+		t.Fatalf("MaxRank 0 must keep the strict rule, got %v", vs)
+	}
+}
+
+// TestRelaxedKeepsSafetyRules: relaxation never excuses emptiness lies,
+// duplicated returns, or returns that precede their insert.
+func TestRelaxedKeepsSafetyRules(t *testing.T) {
+	b := RelaxedBound{MaxRank: 1 << 30}
+
+	empties := []Op{
+		{Kind: Insert, Pri: 3, Val: 7, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, OK: false, Start: 2, End: 3},
+	}
+	if vs := CheckRelaxed(empties, b); !hasRule(vs, "emptiness") {
+		t.Fatalf("relaxed mode must keep the emptiness rule, got %v", vs)
+	}
+
+	dup := []Op{
+		{Kind: Insert, Pri: 1, Val: 9, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, Pri: 1, Val: 9, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 1, Val: 9, OK: true, Start: 4, End: 5},
+	}
+	if vs := CheckRelaxed(dup, b); !hasRule(vs, "uniqueness") {
+		t.Fatalf("relaxed mode must keep the uniqueness rule, got %v", vs)
+	}
+
+	early := []Op{
+		{Kind: DeleteMin, Pri: 1, Val: 5, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 1, Val: 5, OK: true, Start: 2, End: 3},
+	}
+	if vs := CheckRelaxed(early, b); !hasRule(vs, "precedence") {
+		t.Fatalf("relaxed mode must keep the precedence rule, got %v", vs)
+	}
+}
+
+// TestRelaxedBatchRules: a relaxed delete batch may return priorities out
+// of order, but still may not succeed after reporting dry, and its
+// sub-operations must agree on kind and interval.
+func TestRelaxedBatchRules(t *testing.T) {
+	b := RelaxedBound{MaxRank: 8}
+
+	outOfOrder := []Op{
+		{Kind: Insert, Pri: 2, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: Insert, Pri: 4, Val: 2, OK: true, Start: 2, End: 3},
+		{Kind: DeleteMin, Pri: 4, Val: 2, OK: true, Start: 4, End: 5, Batch: 1},
+		{Kind: DeleteMin, Pri: 2, Val: 1, OK: true, Start: 4, End: 5, Batch: 1},
+	}
+	if vs := Check(outOfOrder); !hasRule(vs, "batch-order") {
+		t.Fatalf("strict batch rule must reject decreasing priorities, got %v", vs)
+	}
+	if vs := CheckRelaxed(outOfOrder, b); len(vs) != 0 {
+		t.Fatalf("relaxed batch may return out of priority order, got %v", vs)
+	}
+
+	afterDry := []Op{
+		{Kind: Insert, Pri: 2, Val: 1, OK: true, Start: 0, End: 1},
+		{Kind: DeleteMin, OK: false, Start: 4, End: 5, Batch: 2},
+		{Kind: DeleteMin, Pri: 2, Val: 1, OK: true, Start: 4, End: 5, Batch: 2},
+	}
+	// The emptiness rule would fire here too; look specifically for the
+	// batch rule.
+	if vs := CheckRelaxed(afterDry, b); !hasRule(vs, "batch-order") {
+		t.Fatalf("relaxed batch must not succeed after dry, got %v", vs)
+	}
+
+	splitInterval := []Op{
+		{Kind: DeleteMin, Pri: 0, Val: 0, OK: false, Start: 4, End: 5, Batch: 3},
+		{Kind: DeleteMin, Pri: 0, Val: 0, OK: false, Start: 6, End: 7, Batch: 3},
+	}
+	if vs := CheckRelaxed(splitInterval, b); !hasRule(vs, "batch") {
+		t.Fatalf("relaxed batch must share one interval, got %v", vs)
+	}
+}

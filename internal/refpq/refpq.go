@@ -60,6 +60,36 @@ func (q *Queue) popMin() (int, uint64, bool) {
 	return 0, 0, false
 }
 
+// Rank reports the number of queued items with priority strictly
+// smaller than pri — the rank error a relaxed queue incurs by popping
+// an item of priority pri now. An exact delete-min always has rank 0.
+func (q *Queue) Rank(pri int) int {
+	rank := 0
+	for i := 0; i < pri && i < len(q.bins); i++ {
+		rank += len(q.bins[i])
+	}
+	return rank
+}
+
+// Remove takes a specific item out of the queue, reporting whether it
+// was present. It is the conservation check of the relaxed differential
+// oracle: a relaxed pop must still return some queued item exactly once,
+// even though it need not be the minimum.
+func (q *Queue) Remove(pri int, val uint64) bool {
+	if pri < 0 || pri >= len(q.bins) {
+		return false
+	}
+	bin := q.bins[pri]
+	for i, v := range bin {
+		if v == val {
+			q.bins[pri] = append(bin[:i:i], bin[i+1:]...)
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
 // Item pairs a priority with a value — the unit of batch operations,
 // mirroring core.Item for the reference model.
 type Item struct {

@@ -41,3 +41,45 @@ func TestNumPriorities(t *testing.T) {
 		t.Fatalf("NumPriorities = %d", got)
 	}
 }
+
+func TestRank(t *testing.T) {
+	q := New(8)
+	q.Insert(0, 1)
+	q.Insert(0, 2)
+	q.Insert(3, 3)
+	q.Insert(7, 4)
+	for pri, want := range map[int]int{0: 0, 1: 2, 3: 2, 4: 3, 7: 3} {
+		if got := q.Rank(pri); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", pri, got, want)
+		}
+	}
+	q.DeleteMin() // takes a pri-0 item
+	if got := q.Rank(7); got != 2 {
+		t.Fatalf("Rank(7) after pop = %d, want 2", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New(4)
+	q.Insert(2, 10)
+	q.Insert(2, 11)
+	q.Insert(2, 12)
+	if !q.Remove(2, 11) {
+		t.Fatal("Remove missed a present item")
+	}
+	if q.Remove(2, 11) {
+		t.Fatal("Remove found an already-removed item")
+	}
+	if q.Remove(0, 10) || q.Remove(-1, 10) || q.Remove(9, 10) {
+		t.Fatal("Remove matched a wrong priority")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if v, _ := q.DeleteMin(); v != 12 {
+		t.Fatalf("DeleteMin after Remove = %d, want 12", v)
+	}
+	if v, _ := q.DeleteMin(); v != 10 {
+		t.Fatalf("DeleteMin after Remove = %d, want 10", v)
+	}
+}

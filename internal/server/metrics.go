@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pq"
 	"pq/internal/obs"
 	"pq/internal/wire"
 )
@@ -199,10 +200,42 @@ func (s *Server) writeProm(w io.Writer) error {
 		{"pq_queue_size", "gauge", "Approximate queued items (inserts - deletes).", func(q *servedQueue) float64 { return float64(q.size()) }},
 		{"pq_queue_capacity", "gauge", "Admission bound (0 = unbounded).", func(q *servedQueue) float64 { return float64(q.spec.Capacity) }},
 		{"pq_queue_draining", "gauge", "1 while the queue sheds inserts for drain.", func(q *servedQueue) float64 { return b2f(q.draining.Load()) }},
+		{"pq_queue_relaxed", "gauge", "1 when the backing algorithm relaxes delete-min ordering (Config.AllowRelaxed).", func(q *servedQueue) float64 { return b2f(q.relaxed()) }},
 	} {
 		p.Header(g.name, g.typ, g.help)
 		for _, q := range queues {
 			p.Sample(g.name, obs.Labels(map[string]string{"queue": q.spec.Name}), g.val(q))
+		}
+	}
+
+	// Rank-error families: only relaxed queues emit them. Rank is the
+	// number of strictly better items present when an item was popped,
+	// measured per shard (see servedQueue.relaxStats).
+	type rankPoint struct {
+		q  *servedQueue
+		rs pq.RelaxStats
+	}
+	var rankQueues []rankPoint
+	for _, q := range queues {
+		if rs, ok := q.relaxStats(); ok && rs.Tracked {
+			rankQueues = append(rankQueues, rankPoint{q, rs})
+		}
+	}
+	if len(rankQueues) > 0 {
+		for _, g := range []struct {
+			name, typ, help string
+			val             func(pq.RelaxStats) float64
+		}{
+			{"pq_queue_rank_error_pops_total", "counter", "Pops with rank-error accounting.", func(rs pq.RelaxStats) float64 { return float64(rs.Pops) }},
+			{"pq_queue_rank_error_mean", "gauge", "Mean rank error over all pops.", func(rs pq.RelaxStats) float64 { return rs.Mean() }},
+			{"pq_queue_rank_error_p50", "gauge", "Median rank error.", func(rs pq.RelaxStats) float64 { return rs.Quantile(0.50) }},
+			{"pq_queue_rank_error_p99", "gauge", "99th-percentile rank error.", func(rs pq.RelaxStats) float64 { return rs.Quantile(0.99) }},
+			{"pq_queue_rank_error_max", "gauge", "Worst rank error observed.", func(rs pq.RelaxStats) float64 { return float64(rs.RankMax) }},
+		} {
+			p.Header(g.name, g.typ, g.help)
+			for _, rp := range rankQueues {
+				p.Sample(g.name, obs.Labels(map[string]string{"queue": rp.q.spec.Name}), g.val(rp.rs))
+			}
 		}
 	}
 

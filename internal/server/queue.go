@@ -461,3 +461,24 @@ func (q *servedQueue) peek(max int) []wire.Item {
 
 // size is the approximate queued-item count.
 func (q *servedQueue) size() int64 { return q.inserts.Load() - q.deletes.Load() }
+
+// relaxed reports whether the backing algorithm trades exact delete-min
+// order for scalability.
+func (q *servedQueue) relaxed() bool { return pq.IsRelaxed(q.spec.Algorithm) }
+
+// relaxStats merges the rank-error accounting of every shard. ok is
+// false for exact algorithms, which carry no such accounting. Ranks are
+// per-shard (a shard only sees its own priority band), so the merged
+// distribution understates global rank error when Shards > 1 — still
+// the right operational signal: within a band is where relaxation bites.
+func (q *servedQueue) relaxStats() (pq.RelaxStats, bool) {
+	var total pq.RelaxStats
+	found := false
+	for _, sub := range q.shards {
+		if rs, ok := pq.RelaxStatsOf(sub); ok {
+			total = total.Merge(rs)
+			found = true
+		}
+	}
+	return total, found
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pq"
 	"pq/internal/obs"
 	"pq/internal/wal"
 	"pq/internal/wire"
@@ -57,6 +58,12 @@ type Config struct {
 	// endpoint still serves; histogram families are simply absent.
 	// Exists so the recording overhead can be measured.
 	NoMetrics bool
+	// AllowRelaxed permits queues backed by relaxed algorithms
+	// (pq.MultiQueue): delete-min may return an item while strictly
+	// better items remain queued. Off by default so a client that
+	// expects exact priority order can never be handed a relaxed queue
+	// by a configuration slip; pqd exposes it as -relaxed.
+	AllowRelaxed bool
 
 	// DataDir, when set, makes every queue durable: each keeps a
 	// segmented write-ahead log plus snapshots under DataDir/<name>,
@@ -186,6 +193,10 @@ func (s *Server) AddQueue(spec QueueSpec) error {
 		if strings.ContainsAny(spec.Name, "/\\") || spec.Name == "." || spec.Name == ".." {
 			return fmt.Errorf("server: durable queue name %q must be a plain directory name", spec.Name)
 		}
+	}
+	if pq.IsRelaxed(spec.Algorithm) && !s.cfg.AllowRelaxed {
+		return fmt.Errorf("server: queue %q: algorithm %q relaxes delete-min ordering (better items may remain queued when an item is delivered); set Config.AllowRelaxed (pqd -relaxed) to serve it",
+			spec.Name, spec.Algorithm)
 	}
 	q, err := newServedQueue(spec, s.cfg.Concurrency)
 	if err != nil {

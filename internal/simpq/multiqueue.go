@@ -1,0 +1,522 @@
+package simpq
+
+import "pq/internal/sim"
+
+// MQParams tunes the simulated MultiQueue.
+type MQParams struct {
+	// C is the over-provisioning factor: the queue keeps C × procs
+	// sub-heaps. Zero selects 2, the Williams & Sanders default.
+	C int
+	// Sticky reuses each processor's random sub-heap choices for this
+	// many consecutive operations before re-rolling (0 disables).
+	Sticky int
+	// PopBatch refills a per-processor deletion buffer of this size from
+	// one locked sub-heap on DeleteMin (0 or 1 disables buffering).
+	PopBatch int
+}
+
+// DefaultMQParams is the Williams & Sanders baseline: C=2, no
+// stickiness, no buffering.
+func DefaultMQParams() MQParams { return MQParams{C: 2} }
+
+// MultiQueue is the relaxed queue of Williams & Sanders on the simulated
+// machine: C·p sequential array heaps in shared memory, each under a
+// test-and-set lock, with a per-heap top-priority cache word. Insert
+// pushes to a random (or sticky) heap; DeleteMin reads the top words of
+// two random heaps and pops the better one. Locks are only ever
+// TryAcquired — contention re-rolls instead of spinning — so the queue
+// has no combining structure and no convoy, at the price of bounded
+// rank error on every pop.
+//
+// Rank accounting mirrors the queue contents host-side: the engine runs
+// operations one memory request at a time under a single baton, so the
+// mirror is exact, and each pop's rank error (items of strictly smaller
+// priority present at pop time) costs zero simulated cycles to compute.
+type MultiQueue struct {
+	npri     int
+	nq       int
+	capQ     int
+	sticky   int
+	popBatch int
+
+	locks []TASLock
+	tops  sim.Addr // per-heap cached top priority; npri means empty
+	sizes sim.Addr // per-heap element count
+	pris  sim.Addr // nq × (capQ+1) 1-based heap arrays
+	vals  sim.Addr
+
+	// Host-side per-processor state: sticky choices and deletion
+	// buffers. Buffers model processor-private memory, so they cost no
+	// shared-memory traffic; their contents stay visible to the
+	// emptiness scan below.
+	stick []mqStick
+	bufs  [][]BatchItem
+
+	// Host-side rank accounting and internals counters.
+	present    []int64
+	rankCounts []int64
+	pops       int64
+	rankSum    int64
+	rankMax    int64
+
+	picks       int64 // two-choice samplings
+	ties        int64 // samplings whose two tops were equal
+	emptyProbes int64 // locked heaps that turned out empty (or fruitless scans)
+	lockRetries int64 // TryAcquire failures
+	fullScans   int64 // slow-path sweeps after two empty tops
+	stickyHits  int64 // operations served by a still-sticky choice
+	overflows   int64 // inserts dropped because a sub-heap was full
+
+	batchInserts int64
+	batchDeletes int64
+}
+
+type mqStick struct {
+	left int
+	ins  int
+	a, b int
+}
+
+// NewMultiQueue builds a MultiQueue with npri priorities and total
+// capacity maxItems spread over the sub-heaps (each heap gets slack
+// above the uniform share because random placement is not perfectly
+// balanced; an insert into a full heap is dropped like the paper's
+// bins, counted in multiqueue.overflow_drops).
+func NewMultiQueue(m *sim.Machine, npri, maxItems int, prm MQParams) *MultiQueue {
+	c := prm.C
+	if c <= 0 {
+		c = 2
+	}
+	nq := c * m.Procs()
+	if nq < 2 {
+		nq = 2
+	}
+	capQ := maxItems
+	if nq > 1 {
+		capQ = 4*maxItems/nq + 64
+		if capQ > maxItems {
+			capQ = maxItems
+		}
+	}
+	q := &MultiQueue{
+		npri:     npri,
+		nq:       nq,
+		capQ:     capQ,
+		sticky:   prm.Sticky,
+		popBatch: prm.PopBatch,
+		locks:    make([]TASLock, nq),
+		tops:     m.Alloc(nq),
+		sizes:    m.Alloc(nq),
+		pris:     m.Alloc(nq * (capQ + 1)),
+		vals:     m.Alloc(nq * (capQ + 1)),
+		stick:    make([]mqStick, m.Procs()),
+		bufs:     make([][]BatchItem, m.Procs()),
+		present:  make([]int64, npri),
+	}
+	for i := range q.locks {
+		q.locks[i] = NewTASLock(m)
+	}
+	m.Label(q.tops, nq, "multiqueue.tops")
+	m.Label(q.sizes, nq, "multiqueue.sizes")
+	m.Label(q.pris, nq*(capQ+1), "multiqueue.heaps")
+	m.Label(q.vals, nq*(capQ+1), "multiqueue.heaps")
+	for h := 0; h < nq; h++ {
+		m.SetWord(q.tops+sim.Addr(h), q.mqEmpty())
+	}
+	return q
+}
+
+// NumPriorities reports the fixed priority range.
+func (q *MultiQueue) NumPriorities() int { return q.npri }
+
+// mqEmpty is the top-cache sentinel for an empty heap. Heaps start
+// zeroed, so the sentinel must be written on first use; topOf treats a
+// zero-size heap as empty regardless of its top word.
+func (q *MultiQueue) mqEmpty() uint64 { return uint64(q.npri) }
+
+func (q *MultiQueue) heapPri(p *sim.Proc, h int, i uint64) uint64 {
+	return p.Read(q.pris + sim.Addr(h*(q.capQ+1)) + sim.Addr(i))
+}
+func (q *MultiQueue) heapVal(p *sim.Proc, h int, i uint64) uint64 {
+	return p.Read(q.vals + sim.Addr(h*(q.capQ+1)) + sim.Addr(i))
+}
+func (q *MultiQueue) heapSet(p *sim.Proc, h int, i, pr, v uint64) {
+	p.Write(q.pris+sim.Addr(h*(q.capQ+1))+sim.Addr(i), pr)
+	p.Write(q.vals+sim.Addr(h*(q.capQ+1))+sim.Addr(i), v)
+}
+
+// pushLocked inserts into heap h (lock held) and republishes its top.
+func (q *MultiQueue) pushLocked(p *sim.Proc, h, pri int, val uint64) bool {
+	n := p.Read(q.sizes + sim.Addr(h))
+	if n >= uint64(q.capQ) {
+		q.overflows++
+		return false
+	}
+	n++
+	p.Write(q.sizes+sim.Addr(h), n)
+	i, pr := n, uint64(pri)
+	for i > 1 {
+		parent := i / 2
+		ppri := q.heapPri(p, h, parent)
+		if ppri <= pr {
+			break
+		}
+		q.heapSet(p, h, i, ppri, q.heapVal(p, h, parent))
+		i = parent
+	}
+	q.heapSet(p, h, i, pr, val)
+	p.Write(q.tops+sim.Addr(h), q.heapPri(p, h, 1))
+	q.present[pri]++
+	return true
+}
+
+// popLocked removes heap h's root (lock held) and republishes its top.
+func (q *MultiQueue) popLocked(p *sim.Proc, h int) (int, uint64, bool) {
+	n := p.Read(q.sizes + sim.Addr(h))
+	if n == 0 {
+		p.Write(q.tops+sim.Addr(h), q.mqEmpty())
+		return 0, 0, false
+	}
+	outPri, out := q.heapPri(p, h, 1), q.heapVal(p, h, 1)
+	lastPri, lastVal := q.heapPri(p, h, n), q.heapVal(p, h, n)
+	p.Write(q.sizes+sim.Addr(h), n-1)
+	n--
+	if n > 0 {
+		i := uint64(1)
+		for {
+			l, r := 2*i, 2*i+1
+			if l > n {
+				break
+			}
+			child, cpri := l, q.heapPri(p, h, l)
+			if r <= n {
+				if rp := q.heapPri(p, h, r); rp < cpri {
+					child, cpri = r, rp
+				}
+			}
+			if cpri >= lastPri {
+				break
+			}
+			q.heapSet(p, h, i, cpri, q.heapVal(p, h, child))
+			i = child
+		}
+		q.heapSet(p, h, i, lastPri, lastVal)
+		p.Write(q.tops+sim.Addr(h), q.heapPri(p, h, 1))
+	} else {
+		p.Write(q.tops+sim.Addr(h), q.mqEmpty())
+	}
+	q.notePop(int(outPri))
+	return int(outPri), out, true
+}
+
+// notePop records one pop's exact rank error from the host-side mirror.
+func (q *MultiQueue) notePop(pri int) {
+	rank := int64(0)
+	for i := 0; i < pri; i++ {
+		rank += q.present[i]
+	}
+	q.present[pri]--
+	q.pops++
+	q.rankSum += rank
+	if rank > q.rankMax {
+		q.rankMax = rank
+	}
+	for int64(len(q.rankCounts)) <= rank {
+		q.rankCounts = append(q.rankCounts, 0)
+	}
+	q.rankCounts[rank]++
+}
+
+// pickInsert returns the insertion heap, honouring stickiness.
+func (q *MultiQueue) pickInsert(p *sim.Proc) int {
+	if q.sticky <= 0 {
+		return p.Rand(q.nq)
+	}
+	st := &q.stick[p.ID()]
+	if st.left <= 0 {
+		q.reroll(p, st)
+	} else {
+		q.stickyHits++
+	}
+	return st.ins
+}
+
+// pickTwo returns two distinct deletion candidates, honouring
+// stickiness.
+func (q *MultiQueue) pickTwo(p *sim.Proc) (int, int) {
+	q.picks++
+	if q.sticky <= 0 {
+		return q.rollPair(p)
+	}
+	st := &q.stick[p.ID()]
+	if st.left <= 0 {
+		q.reroll(p, st)
+	} else {
+		q.stickyHits++
+	}
+	return st.a, st.b
+}
+
+func (q *MultiQueue) rollPair(p *sim.Proc) (int, int) {
+	a := p.Rand(q.nq)
+	b := a
+	if q.nq > 1 {
+		b = (a + 1 + p.Rand(q.nq-1)) % q.nq
+	}
+	return a, b
+}
+
+func (q *MultiQueue) reroll(p *sim.Proc, st *mqStick) {
+	st.ins = p.Rand(q.nq)
+	st.a, st.b = q.rollPair(p)
+	st.left = q.sticky
+}
+
+// breakStick forces a re-roll after lock contention on a sticky choice.
+func (q *MultiQueue) breakStick(p *sim.Proc) {
+	if q.sticky > 0 {
+		q.stick[p.ID()].left = 0
+	}
+}
+
+func (q *MultiQueue) useStick(p *sim.Proc) {
+	if q.sticky > 0 {
+		q.stick[p.ID()].left--
+	}
+}
+
+// Insert adds val at priority pri to a random (or sticky) sub-heap,
+// re-rolling on lock contention instead of waiting.
+func (q *MultiQueue) Insert(p *sim.Proc, pri int, val uint64) {
+	for {
+		h := q.pickInsert(p)
+		if !q.locks[h].TryAcquire(p) {
+			q.lockRetries++
+			q.breakStick(p)
+			continue
+		}
+		q.pushLocked(p, h, pri, val)
+		q.locks[h].Release(p)
+		q.useStick(p)
+		return
+	}
+}
+
+// DeleteMin serves the processor's deletion buffer if non-empty, else
+// pops the better of two random tops (refilling the buffer when
+// PopBatch is set). A false return means a full scan found every heap
+// empty and every buffer empty.
+func (q *MultiQueue) DeleteMin(p *sim.Proc) (uint64, bool) {
+	buf := &q.bufs[p.ID()]
+	if len(*buf) > 0 {
+		it := (*buf)[0]
+		*buf = (*buf)[1:]
+		return it.Val, true
+	}
+	want := 1
+	if q.popBatch > 1 {
+		want = q.popBatch
+	}
+	items, ok := q.popSome(p, want)
+	if !ok {
+		return 0, false
+	}
+	if len(items) > 1 {
+		*buf = append(*buf, items[1:]...)
+	}
+	return items[0].Val, true
+}
+
+// popSome pops up to k items from one sub-heap chosen by the two-choice
+// rule. ok=false means the queue is empty per a clean full scan.
+func (q *MultiQueue) popSome(p *sim.Proc, k int) ([]BatchItem, bool) {
+	for {
+		a, b := q.pickTwo(p)
+		ta := p.Read(q.tops + sim.Addr(a))
+		tb := p.Read(q.tops + sim.Addr(b))
+		if ta == tb {
+			q.ties++
+		}
+		if ta >= q.mqEmpty() && tb >= q.mqEmpty() {
+			return q.popScan(p, k)
+		}
+		best := a
+		if tb < ta {
+			best = b
+		}
+		if !q.locks[best].TryAcquire(p) {
+			q.lockRetries++
+			q.breakStick(p)
+			continue
+		}
+		var out []BatchItem
+		for len(out) < k {
+			pri, val, ok := q.popLocked(p, best)
+			if !ok {
+				break
+			}
+			out = append(out, BatchItem{Pri: pri, Val: val})
+		}
+		q.locks[best].Release(p)
+		if len(out) > 0 {
+			q.useStick(p)
+			return out, true
+		}
+		q.emptyProbes++
+		q.breakStick(p)
+	}
+}
+
+// popScan is the emptiness slow path: drain any processor's deletion
+// buffer, then sweep every heap, skipping empty tops and retrying while
+// any non-empty heap was lock-busy. The all-empty verdict is sound
+// because an item never migrates between heaps and pushLocked publishes
+// the new top before its insert completes.
+func (q *MultiQueue) popScan(p *sim.Proc, k int) ([]BatchItem, bool) {
+	q.fullScans++
+	for {
+		for id := range q.bufs {
+			buf := &q.bufs[id]
+			if len(*buf) == 0 {
+				continue
+			}
+			n := k
+			if n > len(*buf) {
+				n = len(*buf)
+			}
+			out := append([]BatchItem(nil), (*buf)[:n]...)
+			*buf = (*buf)[n:]
+			return out, true
+		}
+		busy := false
+		for h := 0; h < q.nq; h++ {
+			if p.Read(q.tops+sim.Addr(h)) >= q.mqEmpty() {
+				continue
+			}
+			if !q.locks[h].TryAcquire(p) {
+				busy = true
+				q.lockRetries++
+				continue
+			}
+			var out []BatchItem
+			for len(out) < k {
+				pri, val, ok := q.popLocked(p, h)
+				if !ok {
+					break
+				}
+				out = append(out, BatchItem{Pri: pri, Val: val})
+			}
+			q.locks[h].Release(p)
+			if len(out) > 0 {
+				return out, true
+			}
+		}
+		if !busy {
+			q.emptyProbes++
+			return nil, false
+		}
+	}
+}
+
+// InsertBatch pushes the whole batch into one sub-heap under one lock
+// hold — the insertion-buffering path.
+func (q *MultiQueue) InsertBatch(p *sim.Proc, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	q.batchInserts++
+	for {
+		h := q.pickInsert(p)
+		if !q.locks[h].TryAcquire(p) {
+			q.lockRetries++
+			q.breakStick(p)
+			continue
+		}
+		for _, it := range items {
+			q.pushLocked(p, h, it.Pri, it.Val)
+		}
+		q.locks[h].Release(p)
+		q.useStick(p)
+		return
+	}
+}
+
+// DeleteMinBatch serves the deletion buffer, then takes two-choice
+// rounds until k items are out or a full scan proves the queue empty.
+func (q *MultiQueue) DeleteMinBatch(p *sim.Proc, k int) []BatchItem {
+	if k < 1 {
+		return nil
+	}
+	q.batchDeletes++
+	var out []BatchItem
+	buf := &q.bufs[p.ID()]
+	for len(*buf) > 0 && len(out) < k {
+		out = append(out, (*buf)[0])
+		*buf = (*buf)[1:]
+	}
+	for len(out) < k {
+		items, ok := q.popSome(p, k-len(out))
+		if !ok {
+			break
+		}
+		out = append(out, items...)
+	}
+	return out
+}
+
+// quantileFromCounts returns the smallest rank r with cumulative count
+// >= p·total.
+func quantileFromCounts(counts []int64, total int64, p float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	need := int64(p * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for r, c := range counts {
+		cum += c
+		if cum >= need {
+			return float64(r)
+		}
+	}
+	return float64(len(counts) - 1)
+}
+
+// Metrics reports the MultiQueue internals: the two-choice accounting
+// the issue asks for (queue picks, ties, empty-probe retries) plus lock
+// contention, scan, stickiness and overflow counters and the exact
+// rank-error distribution.
+func (q *MultiQueue) Metrics() Metrics {
+	m := Metrics{
+		"multiqueue.queues":              float64(q.nq),
+		"multiqueue.queue_picks":         float64(q.picks),
+		"multiqueue.ties":                float64(q.ties),
+		"multiqueue.empty_probe_retries": float64(q.emptyProbes),
+		"multiqueue.lock_retries":        float64(q.lockRetries),
+		"multiqueue.full_scans":          float64(q.fullScans),
+		"multiqueue.sticky_hits":         float64(q.stickyHits),
+		"multiqueue.overflow_drops":      float64(q.overflows),
+		"multiqueue.rank_pops":           float64(q.pops),
+		"multiqueue.rank_max":            float64(q.rankMax),
+		"batch_inserts":                  float64(q.batchInserts),
+		"batch_deletes":                  float64(q.batchDeletes),
+	}
+	if q.pops > 0 {
+		m["multiqueue.rank_mean"] = float64(q.rankSum) / float64(q.pops)
+		m["multiqueue.rank_p50"] = quantileFromCounts(q.rankCounts, q.pops, 0.5)
+		m["multiqueue.rank_p99"] = quantileFromCounts(q.rankCounts, q.pops, 0.99)
+	} else {
+		m["multiqueue.rank_mean"] = 0
+		m["multiqueue.rank_p50"] = 0
+		m["multiqueue.rank_p99"] = 0
+	}
+	return m
+}
+
+var (
+	_ Queue         = (*MultiQueue)(nil)
+	_ BatchQueue    = (*MultiQueue)(nil)
+	_ MetricsSource = (*MultiQueue)(nil)
+)

@@ -3,14 +3,21 @@
 // MCS queue locks, test-and-set locks, lock-based bins and counters,
 // concurrent heaps (single-lock and Hunt et al.), a bounded-range skip
 // list, and combining funnels with the paper's novel bounded
-// fetch-and-decrement and elimination.
+// fetch-and-decrement and elimination. The relaxed MultiQueue of
+// Williams & Sanders rides along as a post-paper comparison point; it is
+// registered separately (RelaxedAlgorithms) and never selected by
+// default.
 //
 // Values stored in queues and stacks must fit in 61 bits; the top bits of
 // a simulated word are used for result/state encoding in the funnel
 // protocol.
 package simpq
 
-import "pq/internal/sim"
+import (
+	"strings"
+
+	"pq/internal/sim"
+)
 
 // MaxValue is the largest value storable in a queue on the simulator.
 const MaxValue = 1<<61 - 1
@@ -42,10 +49,49 @@ const (
 	AlgFunnelTree    Algorithm = "FunnelTree"
 )
 
-// Algorithms lists all implementations in the paper's presentation order.
+// AlgMultiQueue is the relaxed MultiQueue (Williams & Sanders); see
+// MultiQueue. It is not part of Algorithms — relaxed delete-min must be
+// requested explicitly.
+const AlgMultiQueue Algorithm = "MultiQueue"
+
+// Algorithms lists the paper's implementations in its presentation
+// order; all are strict or quiescently consistent.
 var Algorithms = []Algorithm{
 	AlgSingleLock, AlgHuntEtAl, AlgSkipList,
 	AlgSimpleLinear, AlgSimpleTree, AlgLinearFunnels, AlgFunnelTree,
+}
+
+// RelaxedAlgorithms lists the implementations whose DeleteMin is only
+// approximately smallest-first.
+var RelaxedAlgorithms = []Algorithm{AlgMultiQueue}
+
+// All lists every implementation: the paper's seven, then the relaxed
+// extensions.
+func All() []Algorithm {
+	out := make([]Algorithm, 0, len(Algorithms)+len(RelaxedAlgorithms))
+	out = append(out, Algorithms...)
+	return append(out, RelaxedAlgorithms...)
+}
+
+// IsRelaxed reports whether alg trades exact delete-min for throughput.
+func IsRelaxed(alg Algorithm) bool {
+	for _, r := range RelaxedAlgorithms {
+		if r == alg {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseAlgorithm resolves a case-insensitive algorithm name (strict or
+// relaxed) to its canonical spelling.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	for _, a := range All() {
+		if strings.EqualFold(s, string(a)) {
+			return a, true
+		}
+	}
+	return "", false
 }
 
 // Build constructs the named queue on machine m with npri priorities and
@@ -66,6 +112,8 @@ func Build(alg Algorithm, m *sim.Machine, npri, maxItems int) Queue {
 		return NewLinearFunnels(m, npri, maxItems, DefaultFunnelParams(m.Procs()))
 	case AlgFunnelTree:
 		return NewFunnelTree(m, npri, maxItems, DefaultFunnelParams(m.Procs()))
+	case AlgMultiQueue:
+		return NewMultiQueue(m, npri, maxItems, DefaultMQParams())
 	default:
 		panic("simpq: unknown algorithm " + string(alg))
 	}

@@ -77,9 +77,10 @@ func (cfg WorkloadConfig) Validate() error {
 	return nil
 }
 
-// knownAlgorithm reports whether alg is one of the seven implementations.
+// knownAlgorithm reports whether alg is buildable — one of the paper's
+// seven or a registered relaxed algorithm.
 func knownAlgorithm(alg Algorithm) bool {
-	for _, a := range Algorithms {
+	for _, a := range All() {
 		if a == alg {
 			return true
 		}

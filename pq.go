@@ -26,6 +26,13 @@
 // under heavy multicore contention the funnel-based queues are the
 // scalable choice — that trade-off is the paper's central result.
 //
+// An eighth, opt-in implementation relaxes the semantics themselves:
+// MultiQueue (Williams & Sanders) spreads items over many small heaps
+// and lets delete-min return an item with up to O(c·concurrency)
+// strictly better items still queued, in exchange for near-contention-
+// free scaling. It is excluded from Algorithms() and must be selected
+// explicitly; RelaxStatsOf reports its measured rank error.
+//
 // The internal/sim and internal/simpq packages contain a deterministic
 // ccNUMA multiprocessor simulator and simulator-hosted versions of the
 // same algorithms, used to regenerate the paper's figures (see
@@ -33,6 +40,9 @@
 package pq
 
 import (
+	"fmt"
+	"strings"
+
 	"pq/internal/core"
 	"pq/internal/funnel"
 )
@@ -126,11 +136,55 @@ const (
 	FunnelTree    = core.FunnelTree
 )
 
-// Algorithms lists every implementation in the paper's order.
+// MultiQueue is the relaxed MultiQueue of Williams & Sanders: c
+// sequential heaps per goroutine, inserts go to a random heap,
+// delete-min pops the better of two random heap tops. It is NOT an
+// exact priority queue — delete-min may return an item while up to
+// O(c·concurrency) strictly better items remain (whp) — and so is
+// excluded from Algorithms(); select it explicitly when the caller can
+// tolerate reordering in exchange for contention-free scaling.
+const MultiQueue = core.MultiQueue
+
+// Algorithms lists every exact implementation in the paper's order.
+// Relaxed algorithms are deliberately excluded: code that iterates the
+// registry (differential tests, benchmark sweeps) may assume strict
+// delete-min order. Use AllAlgorithms to include them.
 func Algorithms() []Algorithm {
 	out := make([]Algorithm, len(core.Algorithms))
 	copy(out, core.Algorithms)
 	return out
+}
+
+// RelaxedAlgorithms lists the algorithms with relaxed delete-min order.
+func RelaxedAlgorithms() []Algorithm {
+	out := make([]Algorithm, len(core.RelaxedAlgorithms))
+	copy(out, core.RelaxedAlgorithms)
+	return out
+}
+
+// AllAlgorithms lists every implementation: the paper's seven exact
+// queues followed by the relaxed ones.
+func AllAlgorithms() []Algorithm {
+	return core.All()
+}
+
+// IsRelaxed reports whether alg trades exact delete-min order for
+// scalability (see MultiQueue).
+func IsRelaxed(alg Algorithm) bool {
+	return core.IsRelaxed(alg)
+}
+
+// ParseAlgorithm resolves a case-insensitive algorithm name; the error
+// lists every valid name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if alg, ok := core.ParseAlgorithm(name); ok {
+		return alg, nil
+	}
+	names := make([]string, 0, len(core.All()))
+	for _, a := range core.All() {
+		names = append(names, string(a))
+	}
+	return "", fmt.Errorf("pq: unknown algorithm %q (valid: %s)", name, strings.Join(names, ", "))
 }
 
 // FunnelParams tunes the combining funnels used by LinearFunnels and
@@ -166,6 +220,51 @@ func WithFunnelCutoff(levels int) Option {
 // happens in the funnel, but the central storage is FIFO.
 func WithFIFOBins() Option {
 	return func(c *core.Config) { c.FIFOBins = true }
+}
+
+// WithMultiQueueC sets the MultiQueue's queues-per-goroutine multiplier
+// c: the queue uses about c times WithConcurrency sequential heaps.
+// Larger c lowers contention and raises rank error (both scale with
+// c·concurrency). The default is 2, the value Williams & Sanders
+// recommend.
+func WithMultiQueueC(c int) Option {
+	return func(cfg *core.Config) { cfg.MultiQueueC = c }
+}
+
+// WithMultiQueueSticky makes MultiQueue operations reuse their chosen
+// heaps for n consecutive operations, trading rank error for locality.
+func WithMultiQueueSticky(n int) Option {
+	return func(cfg *core.Config) { cfg.MultiQueueSticky = n }
+}
+
+// WithMultiQueuePopBatch makes each MultiQueue delete-min pop up to n
+// items while it holds a heap lock, buffering the extras for the same
+// goroutine's later calls — fewer lock acquisitions, more reordering.
+func WithMultiQueuePopBatch(n int) Option {
+	return func(cfg *core.Config) { cfg.MultiQueuePopBatch = n }
+}
+
+// WithMultiQueueRankTracking enables or disables the MultiQueue's exact
+// rank-error accounting (see RelaxStatsOf). It is on by default for
+// priority ranges up to a few thousand; tracking costs one prefix scan
+// of per-priority counters per delete-min.
+func WithMultiQueueRankTracking(on bool) Option {
+	return func(cfg *core.Config) { cfg.MultiQueueNoRank = !on }
+}
+
+// RelaxStats is the measured rank-error accounting of a relaxed queue:
+// how many strictly better items were present each time an item was
+// popped. See core.RelaxStats for field documentation.
+type RelaxStats = core.RelaxStats
+
+// RelaxStatsOf returns q's rank-error statistics when q is a relaxed
+// queue built by New (ok=false otherwise). The strict algorithms never
+// pop over a better item, so they carry no such accounting.
+func RelaxStatsOf[V any](q Queue[V]) (RelaxStats, bool) {
+	if rq, ok := q.(core.RelaxedQueue); ok {
+		return rq.RelaxStats(), true
+	}
+	return RelaxStats{}, false
 }
 
 // New builds a queue with the given algorithm and priority range.

@@ -2,6 +2,7 @@ package pq_test
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -248,4 +249,87 @@ func mustQueue(t *testing.T) pq.Queue[int] {
 		t.Fatal(err)
 	}
 	return q
+}
+
+func TestRelaxedRegistry(t *testing.T) {
+	for _, alg := range pq.Algorithms() {
+		if pq.IsRelaxed(alg) {
+			t.Errorf("strict registry contains relaxed %q", alg)
+		}
+	}
+	if !pq.IsRelaxed(pq.MultiQueue) {
+		t.Error("MultiQueue not marked relaxed")
+	}
+	all := pq.AllAlgorithms()
+	if want := len(pq.Algorithms()) + len(pq.RelaxedAlgorithms()); len(all) != want {
+		t.Fatalf("AllAlgorithms has %d entries, want %d", len(all), want)
+	}
+	if alg, err := pq.ParseAlgorithm("multiqueue"); err != nil || alg != pq.MultiQueue {
+		t.Fatalf("ParseAlgorithm(multiqueue) = (%q, %v)", alg, err)
+	}
+	_, err := pq.ParseAlgorithm("nope")
+	if err == nil {
+		t.Fatal("ParseAlgorithm accepted an unknown name")
+	}
+	if !strings.Contains(err.Error(), string(pq.MultiQueue)) || !strings.Contains(err.Error(), string(pq.FunnelTree)) {
+		t.Fatalf("parse error does not list valid names: %v", err)
+	}
+}
+
+func TestMultiQueuePublicAPI(t *testing.T) {
+	q, err := pq.New[int](pq.MultiQueue, 16,
+		pq.WithConcurrency(4),
+		pq.WithMultiQueueC(3),
+		pq.WithMultiQueueSticky(2),
+		pq.WithMultiQueuePopBatch(2),
+		pq.WithMultiQueueRankTracking(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					q.Insert((i*7+g)%16, g*perG+i)
+				} else {
+					q.DeleteMin()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rs, ok := pq.RelaxStatsOf(q)
+	if !ok {
+		t.Fatal("RelaxStatsOf reported no stats for MultiQueue")
+	}
+	if !rs.Tracked || rs.Pops == 0 {
+		t.Fatalf("rank accounting absent: %+v", rs)
+	}
+	if rs.Mean() < 0 || rs.Quantile(0.99) < 0 {
+		t.Fatalf("nonsensical rank stats: %+v", rs)
+	}
+	// Strict queues carry no rank accounting.
+	if _, ok := pq.RelaxStatsOf[int](mustQueue(t)); ok {
+		t.Error("RelaxStatsOf reported stats for an exact queue")
+	}
+	// Drain must still conserve items exactly.
+	q2, err := pq.New[int](pq.MultiQueue, 8, pq.WithMultiQueueRankTracking(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q2.Insert(i%8, i)
+	}
+	if got := pq.Drain(q2); len(got) != 100 {
+		t.Fatalf("Drain returned %d items, want 100", len(got))
+	}
+	if rs, ok := pq.RelaxStatsOf(q2); !ok || rs.Tracked {
+		t.Fatalf("RankTracking(false) still tracked: %+v ok=%v", rs, ok)
+	}
 }

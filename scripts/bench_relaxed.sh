@@ -1,0 +1,20 @@
+#!/bin/sh
+# Relaxed-frontier benchmark: sweep the MultiQueue's queues-per-
+# processor multiplier c and the processor count on the simulator,
+# reporting throughput next to the measured rank-error distribution,
+# with FunnelTree (the paper's best exact queue) as the zero-error
+# baseline. The full-scale output of this script is the table recorded
+# in EXPERIMENTS.md ("Relaxed frontier").
+#
+# Used by `make bench-relaxed`; SCALE<1 shrinks the workload for quick
+# runs.
+set -eu
+
+GO=${GO:-go}
+SCALE=${SCALE:-1}
+OUT_DIR=${OUT_DIR:-artifacts}
+OUT=${FRONTIER_OUT:-$OUT_DIR/frontier.txt}
+
+mkdir -p "$OUT_DIR"
+$GO run ./cmd/pqbench -frontier -scale "$SCALE" -q | tee "$OUT"
+echo "bench_relaxed: wrote $OUT"
