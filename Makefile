@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-relaxed figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
+.PHONY: all build test race bench bench-json bench-relaxed bench-serve figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
 
 all: build test
 
@@ -45,6 +45,12 @@ repro-quick:
 # algorithm with latency quantiles, internals metrics and sim totals.
 bench-json:
 	$(GO) run ./cmd/pqbench -json BENCH_$$(date +%Y-%m-%d).json -metrics
+
+# Serving hot-path gate: BenchmarkServeLoopback must report zero
+# allocs/op on the steady-state path and hold throughput within 10% of
+# scripts/bench_serve_baseline.json.
+bench-serve:
+	GO="$(GO)" sh ./scripts/bench_serve.sh
 
 # Relaxed frontier: MultiQueue throughput vs measured rank error over
 # c and processor count, with FunnelTree as the exact baseline. The

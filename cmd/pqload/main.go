@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -51,6 +53,8 @@ type options struct {
 	jsonPath   string
 	appendJSON bool
 	drain      bool
+	cpuProfile string
+	memProfile string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -67,6 +71,8 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.jsonPath, "json", "", "write pq-bench/v1 JSON here (\"-\" = stdout)")
 	fs.BoolVar(&o.appendJSON, "append", false, "merge this run into an existing -json file (durable vs in-memory comparisons)")
 	fs.BoolVar(&o.drain, "drain", true, "drain the queue after the run and check conservation")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the load generator here")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocation profile here at exit")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -106,6 +112,32 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pqload: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "pqload: -memprofile:", err)
+			}
+		}()
+	}
+
 	client, err := pqclient.Dial(pqclient.Config{Addr: o.addr, Conns: o.conns})
 	if err != nil {
 		return err

@@ -177,6 +177,14 @@ func (s *Stack[V]) applyCentral(my *record[V], dir int64) (V, bool) {
 		return ownVal, true
 	}
 
+	if len(my.members) == 1 {
+		// Uncombined pop (the common case at low contention): take one
+		// item directly instead of paying popCentral's batch allocation.
+		v, ok := s.pop1()
+		s.core.finish(my)
+		return v, ok
+	}
+
 	popped := s.popCentral(len(my.members))
 	avail := len(popped)
 	for i, mem := range my.members {
@@ -198,6 +206,35 @@ func (s *Stack[V]) applyCentral(my *record[V], dir int64) (V, bool) {
 	}
 	s.core.finish(my)
 	return ownVal, ownOK
+}
+
+// pop1 removes one item from the central storage under the stack lock,
+// honoring the LIFO/FIFO discipline — popCentral(1) without the result
+// slice.
+func (s *Stack[V]) pop1() (V, bool) {
+	var v, zero V
+	s.mu.Lock()
+	if len(s.items)-s.head == 0 {
+		s.mu.Unlock()
+		return v, false
+	}
+	if s.fifo {
+		v = s.items[s.head]
+		s.items[s.head] = zero // release the reference for GC
+		s.head++
+		if s.head == len(s.items) {
+			s.items = s.items[:0]
+			s.head = 0
+		}
+	} else {
+		last := len(s.items) - 1
+		v = s.items[last]
+		s.items[last] = zero // release the reference for GC
+		s.items = s.items[:last]
+	}
+	s.size.Store(int64(len(s.items) - s.head))
+	s.mu.Unlock()
+	return v, true
 }
 
 // popCentral removes up to k items from the central storage under the

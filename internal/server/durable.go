@@ -74,13 +74,14 @@ func (q *servedQueue) attachWAL(l *wal.Log, rec wal.Recovery, snapEvery int) err
 	return nil
 }
 
-// durTag builds the stored value for one durable item.
+// durTag builds the stored value for one durable item. The envelope is
+// a pooled buffer (recycled when the item is delivered); value may
+// alias a request payload, so the copy here is load-bearing.
 func durTag(id uint64, pri uint32, value []byte) []byte {
-	tagged := make([]byte, durTagLen+len(value))
-	binary.BigEndian.PutUint32(tagged, pri)
-	binary.BigEndian.PutUint64(tagged[4:], id)
-	copy(tagged[durTagLen:], value)
-	return tagged
+	tagged := wire.GetBuf(durTagLen + len(value))
+	tagged = binary.BigEndian.AppendUint32(tagged, pri)
+	tagged = binary.BigEndian.AppendUint64(tagged, id)
+	return append(tagged, value...)
 }
 
 func durID(tagged []byte) uint64 { return binary.BigEndian.Uint64(tagged[4:12]) }
@@ -177,37 +178,39 @@ func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
 	return accepted, nil
 }
 
-// deleteMinDurable pops, logs the departure, then acknowledges. A log
-// failure puts the item back: nothing leaves the queue unrecorded, and
-// since the failure poisoned the log, the put-back item can never be
-// delivered later (every subsequent pop fails to log its departure).
-func (q *servedQueue) deleteMinDurable() (wire.Item, bool, error) {
+// deleteMinEnvDurable pops, logs the departure, then acknowledges. A
+// log failure puts the item back: nothing leaves the queue unrecorded,
+// and since the failure poisoned the log, the put-back item can never
+// be delivered later (every subsequent pop fails to log its departure).
+// Envelope ownership transfers to the caller (see deleteMinEnv).
+func (q *servedQueue) deleteMinEnvDurable() ([]byte, bool, error) {
 	q.durMu.RLock()
 	defer q.durMu.RUnlock()
 	v, si, ok := q.popRaw()
 	if !ok {
 		q.emptyDeletes.Add(1)
-		return wire.Item{}, false, nil
+		return nil, false, nil
 	}
 	if err := q.wal.AppendDelete([]uint64{durID(v)}); err != nil {
 		q.putBack(v)
-		return wire.Item{}, false, err
+		return nil, false, err
 	}
 	q.popCommit()
 	q.noteShardDel(si, 1)
 	q.maybeSnapshot()
-	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[durTagLen:]}, true, nil
+	return v, true, nil
 }
 
 // deleteMinBatchDurable mirrors deleteMinBatch's shard scan and byte
 // budget, but defers the admission commit until a single delete record
 // covering every kept item is durable; a log failure puts everything
-// back un-popped.
-func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error) {
+// back un-popped. Kept envelopes are appended to envs; ownership
+// transfers to the caller exactly as with deleteMinBatch.
+func (q *servedQueue) deleteMinBatchDurable(max, budget int, envs [][]byte) ([][]byte, error) {
 	q.durMu.RLock()
 	defer q.durMu.RUnlock()
+	n0 := len(envs)
 	var (
-		items     []wire.Item
 		ids       []uint64
 		keptShard []int             // shard index per kept item, for rollback
 		kept      []pq.Item[[]byte] // raw kept entries, aligned with keptShard
@@ -223,7 +226,7 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error
 		}
 	}
 	for si, sub := range q.shards {
-		want := max - len(items)
+		want := max - (len(envs) - n0)
 		if want <= 0 {
 			break
 		}
@@ -235,11 +238,11 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error
 		for _, item := range got {
 			v := item.Val
 			sz := 8 + len(v) - durTagLen // pri(4) + bloblen(4) + value
-			if len(items) > 0 && bytes+sz > budget {
+			if len(envs) > n0 && bytes+sz > budget {
 				break
 			}
 			bytes += sz
-			items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[durTagLen:]})
+			envs = append(envs, v)
 			ids = append(ids, durID(v))
 			kept = append(kept, item)
 			keptShard = append(keptShard, si)
@@ -250,23 +253,23 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int) ([]wire.Item, error
 			break
 		}
 	}
-	if len(items) == 0 {
+	if len(envs) == n0 {
 		q.emptyDeletes.Add(1)
-		return nil, nil
+		return envs, nil
 	}
 	if err := q.wal.AppendDelete(ids); err != nil {
 		rollback()
-		return nil, err
+		return envs[:n0], err
 	}
-	q.popCommitN(len(items))
+	q.popCommitN(len(envs) - n0)
 	for _, si := range keptShard {
 		q.noteShardDel(si, 1)
 	}
-	if len(items) < max {
+	if len(envs)-n0 < max {
 		q.emptyDeletes.Add(1)
 	}
 	q.maybeSnapshot()
-	return items, nil
+	return envs, nil
 }
 
 // snapshot quiesces the queue (write lock: every durable operation

@@ -367,7 +367,7 @@ func TestRecoveredOverflowKeepsAdmissionClosed(t *testing.T) {
 	}
 	// A batch pop burns the two units of overflow debt without touching
 	// the counter: still 3 live, still full.
-	if items, err := q.deleteMinBatch(2, 1<<20); err != nil || len(items) != 2 {
+	if items, err := q.deleteMinBatch(2, 1<<20, nil); err != nil || len(items) != 2 {
 		t.Fatalf("deleteMinBatch: %d items, err %v", len(items), err)
 	}
 	if st := tryInsert(); st != insShed {

@@ -3,7 +3,6 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -128,8 +127,18 @@ func (q *servedQueue) shardFor(pri int) int {
 	if len(q.shards) == 1 {
 		return 0
 	}
-	// bases is ascending; find the last base <= pri.
-	return sort.Search(len(q.bases), func(i int) bool { return q.bases[i] > pri }) - 1
+	// bases is ascending; find the last base <= pri. Hand-rolled binary
+	// search: sort.Search takes a closure, which escapes on this path.
+	lo, hi := 0, len(q.bases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.bases[mid] <= pri {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
 
 // insertStatus reports how one insert resolved.
@@ -144,7 +153,9 @@ const (
 
 // insert admits and stores one item. Values are stored with a 4-byte
 // global-priority tag so deleteMin can report the priority it served
-// (the native queues only return the value).
+// (the native queues only return the value). The envelope comes from
+// the wire buffer pool — it.Value may alias a request payload that is
+// recycled the moment this returns, so the copy here is load-bearing.
 func (q *servedQueue) insert(it wire.Item) (insertStatus, error) {
 	if q.wal != nil {
 		return q.insertDurable(it)
@@ -163,9 +174,9 @@ func (q *servedQueue) insert(it wire.Item) (insertStatus, error) {
 			return insShed, nil
 		}
 	}
-	tagged := make([]byte, 4+len(it.Value))
-	binary.BigEndian.PutUint32(tagged, it.Pri)
-	copy(tagged[4:], it.Value)
+	tagged := wire.GetBuf(4 + len(it.Value))
+	tagged = binary.BigEndian.AppendUint32(tagged, it.Pri)
+	tagged = append(tagged, it.Value...)
 	s := q.shardFor(pri)
 	q.shards[s].Insert(pri-q.bases[s], tagged)
 	q.inserts.Add(1)
@@ -238,20 +249,38 @@ func (q *servedQueue) popCommit() {
 	q.deletes.Add(1)
 }
 
-// deleteMin scans shards in priority order and removes the most urgent
-// item found.
-func (q *servedQueue) deleteMin() (wire.Item, bool, error) {
+// deleteMinEnv scans shards in priority order and removes the most
+// urgent item found, returning its raw tagged envelope (layout: 4-byte
+// priority, then tagLen-4 durable bytes, then the value). Ownership of
+// the envelope — a pooled buffer — transfers to the caller, which must
+// wire.PutBuf it once the bytes are no longer referenced.
+func (q *servedQueue) deleteMinEnv() ([]byte, bool, error) {
 	if q.wal != nil {
-		return q.deleteMinDurable()
+		return q.deleteMinEnvDurable()
 	}
 	v, si, ok := q.popRaw()
 	if !ok {
 		q.emptyDeletes.Add(1)
-		return wire.Item{}, false, nil
+		return nil, false, nil
 	}
 	q.popCommit()
 	q.noteShardDel(si, 1)
-	return wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]}, true, nil
+	return v, true, nil
+}
+
+// deleteMin is the copying convenience over deleteMinEnv: the returned
+// Item owns its value (tests and non-hot-path callers use this).
+func (q *servedQueue) deleteMin() (wire.Item, bool, error) {
+	env, ok, err := q.deleteMinEnv()
+	if err != nil || !ok {
+		return wire.Item{}, ok, err
+	}
+	it := wire.Item{
+		Pri:   binary.BigEndian.Uint32(env),
+		Value: append([]byte(nil), env[q.tagLen:]...),
+	}
+	wire.PutBuf(env)
+	return it, true, nil
 }
 
 // insertBatch admits and stores a whole batch: one multi-unit bounded
@@ -294,9 +323,9 @@ func (q *servedQueue) insertBatch(items []wire.Item) (int, error) {
 	byShard := make(map[int][]pq.Item[[]byte])
 	for _, it := range items[:accepted] {
 		pri := int(it.Pri)
-		tagged := make([]byte, 4+len(it.Value))
-		binary.BigEndian.PutUint32(tagged, it.Pri)
-		copy(tagged[4:], it.Value)
+		tagged := wire.GetBuf(4 + len(it.Value))
+		tagged = binary.BigEndian.AppendUint32(tagged, it.Pri)
+		tagged = append(tagged, it.Value...)
 		s := q.shardFor(pri)
 		byShard[s] = append(byShard[s], pq.Item[[]byte]{Pri: pri - q.bases[s], Val: tagged})
 	}
@@ -336,23 +365,26 @@ func (q *servedQueue) popCommitN(n int) {
 
 // deleteMinBatch removes up to max items whose combined TItems encoding
 // stays within budget payload bytes, pulling from each shard through
-// the queues' native DeleteMinBatch fast path. An item that would
-// overflow the budget goes back to its shard un-popped, so a response
-// frame never exceeds the wire limit and no popped item is ever
-// dropped. Any single admitted item fits (values are capped at
-// wire.MaxValue), so progress is guaranteed: the first pop is always
-// kept. A short result means the queue ran dry or a shard declined
-// under contention; the client just asks again.
-func (q *servedQueue) deleteMinBatch(max, budget int) ([]wire.Item, error) {
+// the queues' native DeleteMinBatch fast path. Results are appended to
+// envs as raw tagged envelopes (pooled buffers — the caller takes
+// ownership exactly as with deleteMinEnv); pass a recycled scratch
+// slice to keep this path allocation-free. An item that would overflow
+// the budget goes back to its shard un-popped, so a response frame
+// never exceeds the wire limit and no popped item is ever dropped. Any
+// single admitted item fits (values are capped at wire.MaxValue), so
+// progress is guaranteed: the first pop is always kept. A short result
+// means the queue ran dry or a shard declined under contention; the
+// client just asks again.
+func (q *servedQueue) deleteMinBatch(max, budget int, envs [][]byte) ([][]byte, error) {
 	if q.wal != nil {
-		return q.deleteMinBatchDurable(max, budget)
+		return q.deleteMinBatchDurable(max, budget, envs)
 	}
-	var items []wire.Item
+	n0 := len(envs)
 	bytes := 4 // item-count prefix
 	for si, sub := range q.shards {
-		want := max - len(items)
+		want := max - (len(envs) - n0)
 		if want <= 0 {
-			return items, nil
+			return envs, nil
 		}
 		got := pq.DeleteMinBatch(sub, want)
 		if len(got) == 0 {
@@ -361,12 +393,13 @@ func (q *servedQueue) deleteMinBatch(max, budget int) ([]wire.Item, error) {
 		kept := 0
 		for _, item := range got {
 			v := item.Val
-			sz := 4 + len(v) // pri(4) + bloblen(4) + value(len(v)-4)
-			if len(items) > 0 && bytes+sz > budget {
+			// Encoded size: pri(4) + bloblen(4) + value bytes.
+			sz := 8 + len(v) - q.tagLen
+			if len(envs) > n0 && bytes+sz > budget {
 				break
 			}
 			bytes += sz
-			items = append(items, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[4:]})
+			envs = append(envs, v)
 			kept++
 		}
 		q.popCommitN(kept)
@@ -374,13 +407,13 @@ func (q *servedQueue) deleteMinBatch(max, budget int) ([]wire.Item, error) {
 		if kept < len(got) {
 			// Budget exhausted: the remainder goes back exactly once.
 			q.putBackN(si, got[kept:])
-			return items, nil
+			return envs, nil
 		}
 	}
-	if len(items) < max {
+	if len(envs)-n0 < max {
 		q.emptyDeletes.Add(1)
 	}
-	return items, nil
+	return envs, nil
 }
 
 // stats snapshots the serving counters.
@@ -452,7 +485,13 @@ func (q *servedQueue) peek(max int) []wire.Item {
 		}
 		for _, it := range got {
 			v := it.Val
-			out = append(out, wire.Item{Pri: binary.BigEndian.Uint32(v), Value: v[q.tagLen:]})
+			// Copy: the envelope goes straight back into the live queue
+			// and may be popped, delivered, and recycled while the debug
+			// snapshot is still being rendered.
+			out = append(out, wire.Item{
+				Pri:   binary.BigEndian.Uint32(v),
+				Value: append([]byte(nil), v[q.tagLen:]...),
+			})
 		}
 		q.putBackN(si, got)
 	}

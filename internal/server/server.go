@@ -8,7 +8,6 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -254,6 +253,16 @@ func (s *Server) lookup(name string) *servedQueue {
 	return s.queues[name]
 }
 
+// lookupB is lookup for a queue name still aliasing the request frame.
+// The conversion sits inside the index expression so the compiler's
+// map-lookup-by-[]byte optimization elides the string allocation.
+func (s *Server) lookupB(name []byte) *servedQueue {
+	s.mu.RLock()
+	q := s.queues[string(name)]
+	s.mu.RUnlock()
+	return q
+}
+
 // QueueStats snapshots one queue's counters (for tests and the
 // daemon's exit report).
 func (s *Server) QueueStats(name string) (wire.QueueStats, bool) {
@@ -450,8 +459,17 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 
 // serveConn runs one connection: a reader goroutine decodes frames
 // into a channel and this goroutine processes them, flushing the
-// buffered writer only when the pipeline runs dry or MaxBatch requests
-// have been handled — the server-side micro-batch.
+// response writer only when the pipeline runs dry or MaxBatch requests
+// have been handled — the server-side micro-batch, which the
+// respWriter turns into one vectored write per flush.
+//
+// Buffer ownership along the path: the reader's FrameReader hands each
+// request a pooled payload buffer; the processor recycles it right
+// after handle() returns (everything a request retains — an inserted
+// item — was copied into a queue envelope by then, and everything a
+// response references is queue envelopes, never the request payload).
+// On the rare early-exit paths, payloads still queued in the channel
+// are simply dropped for the GC to take — a pool miss, not a leak.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.dropConn(c)
 
@@ -475,9 +493,11 @@ func (s *Server) serveConn(c net.Conn) {
 		if s.metricsOn {
 			src = &countingReader{r: c, n: s.met.bytesRead, hint: cs.id}
 		}
-		br := bufio.NewReaderSize(src, 64<<10)
+		br := getConnReader(src)
+		defer putConnReader(br)
+		var fr wire.FrameReader
 		for {
-			f, err := wire.ReadFrame(br)
+			f, err := fr.ReadFrame(br)
 			if err != nil && !errors.Is(err, wire.ErrBadVersion) && !errors.Is(err, wire.ErrBadFlags) {
 				if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
 					cs.log.Warn("read failed", "err", err)
@@ -493,6 +513,7 @@ func (s *Server) serveConn(c net.Conn) {
 			select {
 			case reqs <- connReq{f: f, protoErr: err}:
 			case <-done:
+				wire.PutBuf(f.Payload)
 				return
 			}
 		}
@@ -502,10 +523,14 @@ func (s *Server) serveConn(c net.Conn) {
 	if s.metricsOn {
 		dst = &countingWriter{w: c, n: s.met.bytesWritten, hint: cs.id}
 	}
-	bw := bufio.NewWriterSize(dst, 64<<10)
+	w := getRespWriter(dst)
+	defer w.release()
+	var flushed int64
 	for r := range reqs {
 		n := 1
-		if err := s.handle(r, bw, cs); err != nil {
+		err := s.handle(r, w, cs)
+		wire.PutBuf(r.f.Payload)
+		if err != nil {
 			cs.log.Warn("write failed", "err", err)
 			return
 		}
@@ -517,7 +542,9 @@ func (s *Server) serveConn(c net.Conn) {
 					break batch
 				}
 				n++
-				if err := s.handle(r2, bw, cs); err != nil {
+				err := s.handle(r2, w, cs)
+				wire.PutBuf(r2.f.Payload)
+				if err != nil {
 					cs.log.Warn("write failed", "err", err)
 					return
 				}
@@ -525,32 +552,41 @@ func (s *Server) serveConn(c net.Conn) {
 				break batch
 			}
 		}
+		if err := w.flush(); err != nil {
+			return
+		}
 		if s.metricsOn {
 			s.met.framesWritten.Add(cs.id, int64(n))
 			s.met.pipelineDepth.Observe(cs.id, int64(n))
-		}
-		if err := bw.Flush(); err != nil {
-			return
+			s.met.flushes.Add(cs.id, w.flushes-flushed)
+			flushed = w.flushes
 		}
 	}
-	bw.Flush()
+	w.flush()
 }
 
 func isEOF(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// reply appends one response frame to the connection's write buffer.
-func reply(bw *bufio.Writer, id uint32, t wire.Type, payload []byte) error {
-	return wire.WriteFrame(bw, wire.Frame{Type: t, ID: id, Payload: payload})
+// reply appends one response frame with a pre-built payload to the
+// connection's response writer — the cold-path helper (errors, stats
+// JSON). Hot paths append their payloads straight into the writer's
+// scratch via beginFrame/endFrame instead.
+func reply(w *respWriter, id uint32, t wire.Type, payload []byte) error {
+	buf, off := w.beginFrame(t, id)
+	buf = append(buf, payload...)
+	return w.endFrame(buf, off)
 }
 
-func (s *Server) replyErr(bw *bufio.Writer, id uint32, format string, args ...any) error {
-	return reply(bw, id, wire.TError, wire.ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Append(nil))
+func (s *Server) replyErr(w *respWriter, id uint32, format string, args ...any) error {
+	return reply(w, id, wire.TError, wire.ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Append(nil))
 }
 
-func (s *Server) retryPayload() []byte {
-	return wire.RetryAfter{Millis: uint32(s.cfg.RetryAfterMillis)}.Append(nil)
+func (s *Server) replyRetry(w *respWriter, id uint32) error {
+	buf, off := w.beginFrame(wire.TRetryAfter, id)
+	buf = wire.RetryAfter{Millis: uint32(s.cfg.RetryAfterMillis)}.Append(buf)
+	return w.endFrame(buf, off)
 }
 
 // opDone finishes one timed queue operation: count it, record the
@@ -589,47 +625,53 @@ func (q *servedQueue) durFailed(cs connState, op string, err error) {
 }
 
 // handle processes one request frame and writes its single response.
-func (s *Server) handle(r connReq, bw *bufio.Writer, cs connState) error {
+// Request decoding uses the zero-copy views — queue names and item
+// values alias f.Payload — so everything a request hands the queue is
+// copied into a pooled envelope before handle returns, and the caller
+// recycles the payload right after.
+func (s *Server) handle(r connReq, w *respWriter, cs connState) error {
 	f := r.f
 	if r.protoErr != nil {
-		return s.replyErr(bw, f.ID, "%v (frame version %d, flags ignored until version matches)", r.protoErr, f.Version)
+		return s.replyErr(w, f.ID, "%v (frame version %d, flags ignored until version matches)", r.protoErr, f.Version)
 	}
 	switch f.Type {
 	case wire.TInsert:
-		m, err := wire.DecodeInsert(f.Payload)
+		m, err := wire.DecodeInsertView(f.Payload)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad INSERT: %v", err)
+			return s.replyErr(w, f.ID, "bad INSERT: %v", err)
 		}
 		if len(m.Item.Value) > wire.MaxValue {
-			return s.replyErr(bw, f.ID, "value %d bytes exceeds limit %d", len(m.Item.Value), wire.MaxValue)
+			return s.replyErr(w, f.ID, "value %d bytes exceeds limit %d", len(m.Item.Value), wire.MaxValue)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		t0 := q.opClock()
 		st, err := q.insert(m.Item)
 		s.opDone(q, opInsert, t0, cs)
 		switch st {
 		case insOK:
-			return reply(bw, f.ID, wire.TInsertOK, wire.InsertOK{Accepted: 1}.Append(nil))
+			buf, off := w.beginFrame(wire.TInsertOK, f.ID)
+			buf = wire.InsertOK{Accepted: 1}.Append(buf)
+			return w.endFrame(buf, off)
 		case insShed:
-			return reply(bw, f.ID, wire.TRetryAfter, s.retryPayload())
+			return s.replyRetry(w, f.ID)
 		case insErr:
 			q.durFailed(cs, "insert", err)
-			return s.replyErr(bw, f.ID, "durability: %v", err)
+			return s.replyErr(w, f.ID, "durability: %v", err)
 		default:
-			return s.replyErr(bw, f.ID, "priority %d out of range [0,%d)", m.Item.Pri, q.spec.Priorities)
+			return s.replyErr(w, f.ID, "priority %d out of range [0,%d)", m.Item.Pri, q.spec.Priorities)
 		}
 
 	case wire.TInsertBatch:
-		m, err := wire.DecodeInsertBatch(f.Payload)
+		m, err := wire.DecodeInsertBatchView(f.Payload, nil)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad INSERT_BATCH: %v", err)
+			return s.replyErr(w, f.ID, "bad INSERT_BATCH: %v", err)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		// Validate the whole batch before admitting any of it, so a
 		// batch is either a protocol error or an admitted prefix. The
@@ -637,10 +679,10 @@ func (s *Server) handle(r connReq, bw *bufio.Writer, cs connState) error {
 		// unrelated inserts can tell whose item was bad.
 		for i, it := range m.Items {
 			if int(it.Pri) >= q.spec.Priorities {
-				return s.replyErr(bw, f.ID, "item %d: priority %d out of range [0,%d)", i, it.Pri, q.spec.Priorities)
+				return s.replyErr(w, f.ID, "item %d: priority %d out of range [0,%d)", i, it.Pri, q.spec.Priorities)
 			}
 			if len(it.Value) > wire.MaxValue {
-				return s.replyErr(bw, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
+				return s.replyErr(w, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
 			}
 		}
 		t0 := q.opClock()
@@ -648,84 +690,92 @@ func (s *Server) handle(r connReq, bw *bufio.Writer, cs connState) error {
 		s.opDone(q, opInsertBatch, t0, cs)
 		if err != nil {
 			q.durFailed(cs, "insert_batch", err)
-			return s.replyErr(bw, f.ID, "durability: %v", err)
+			return s.replyErr(w, f.ID, "durability: %v", err)
 		}
 		ok := wire.InsertOK{Accepted: uint32(accepted), Rejected: uint32(len(m.Items) - accepted)}
 		if ok.Rejected > 0 {
 			ok.RetryAfterMillis = uint32(s.cfg.RetryAfterMillis)
 		}
-		return reply(bw, f.ID, wire.TInsertOK, ok.Append(nil))
+		buf, off := w.beginFrame(wire.TInsertOK, f.ID)
+		buf = ok.Append(buf)
+		return w.endFrame(buf, off)
 
 	case wire.TDeleteMin:
-		m, err := wire.DecodeQueueReq(f.Payload)
+		m, err := wire.DecodeQueueReqView(f.Payload)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad DELETE_MIN: %v", err)
+			return s.replyErr(w, f.ID, "bad DELETE_MIN: %v", err)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		t0 := q.opClock()
-		it, ok, err := q.deleteMin()
+		env, ok, err := q.deleteMinEnv()
 		s.opDone(q, opDeleteMin, t0, cs)
 		if err != nil {
 			q.durFailed(cs, "delete_min", err)
-			return s.replyErr(bw, f.ID, "durability: %v", err)
+			return s.replyErr(w, f.ID, "durability: %v", err)
 		}
 		if !ok {
-			return reply(bw, f.ID, wire.TEmpty, nil)
+			buf, off := w.beginFrame(wire.TEmpty, f.ID)
+			return w.endFrame(buf, off)
 		}
-		return reply(bw, f.ID, wire.TItem, wire.AppendItem(nil, it))
+		return w.itemFrame(f.ID, env, q.tagLen)
 
 	case wire.TDeleteMinBatch:
-		m, err := wire.DecodeDeleteMinBatch(f.Payload)
+		m, err := wire.DecodeDeleteMinBatchView(f.Payload)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad DELETE_MIN_BATCH: %v", err)
+			return s.replyErr(w, f.ID, "bad DELETE_MIN_BATCH: %v", err)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		max := int(m.Max)
 		if max <= 0 || max > wire.MaxBatchItems {
-			return s.replyErr(bw, f.ID, "bad DELETE_MIN_BATCH max %d", m.Max)
+			return s.replyErr(w, f.ID, "bad DELETE_MIN_BATCH max %d", m.Max)
 		}
 		// The pop loop is bounded by encoded response bytes as well as
 		// max, so the TItems frame always fits under wire.MaxFrame; a
 		// short response just means the client should ask again.
+		scratch := getEnvs()
 		t0 := q.opClock()
-		items, err := q.deleteMinBatch(max, wire.MaxPayload)
+		envs, err := q.deleteMinBatch(max, wire.MaxPayload, (*scratch)[:0])
 		s.opDone(q, opDeleteMinBatch, t0, cs)
 		if err != nil {
+			putEnvs(scratch)
 			q.durFailed(cs, "delete_min_batch", err)
-			return s.replyErr(bw, f.ID, "durability: %v", err)
+			return s.replyErr(w, f.ID, "durability: %v", err)
 		}
-		return reply(bw, f.ID, wire.TItems, wire.Items{Items: items}.Append(nil))
+		werr := w.itemsFrame(f.ID, envs, q.tagLen)
+		*scratch = envs[:0]
+		putEnvs(scratch)
+		return werr
 
 	case wire.TStats:
-		m, err := wire.DecodeQueueReq(f.Payload)
+		m, err := wire.DecodeQueueReqView(f.Payload)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad STATS: %v", err)
+			return s.replyErr(w, f.ID, "bad STATS: %v", err)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		s.opDone(q, opStats, time.Time{}, cs)
 		data, err := json.Marshal(q.stats())
 		if err != nil {
-			return s.replyErr(bw, f.ID, "stats: %v", err)
+			return s.replyErr(w, f.ID, "stats: %v", err)
 		}
-		return reply(bw, f.ID, wire.TStatsReply, data)
+		return reply(w, f.ID, wire.TStatsReply, data)
 
 	case wire.TDrain:
-		m, err := wire.DecodeQueueReq(f.Payload)
+		m, err := wire.DecodeQueueReqView(f.Payload)
 		if err != nil {
-			return s.replyErr(bw, f.ID, "bad DRAIN: %v", err)
+			return s.replyErr(w, f.ID, "bad DRAIN: %v", err)
 		}
-		q := s.lookup(m.Queue)
+		q := s.lookupB(m.Queue)
 		if q == nil {
-			return s.replyErr(bw, f.ID, "no such queue %q", m.Queue)
+			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		s.opDone(q, opDrain, time.Time{}, cs)
 		cs.log.Info("queue draining", "queue", q.spec.Name)
@@ -734,10 +784,12 @@ func (s *Server) handle(r connReq, bw *bufio.Writer, cs connState) error {
 		if rem < 0 {
 			rem = 0
 		}
-		return reply(bw, f.ID, wire.TDrained, wire.Drained{Remaining: uint64(rem)}.Append(nil))
+		buf, off := w.beginFrame(wire.TDrained, f.ID)
+		buf = wire.Drained{Remaining: uint64(rem)}.Append(buf)
+		return w.endFrame(buf, off)
 
 	default:
-		return s.replyErr(bw, f.ID, "unknown request type %s", f.Type)
+		return s.replyErr(w, f.ID, "unknown request type %s", f.Type)
 	}
 }
 

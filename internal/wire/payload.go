@@ -59,6 +59,21 @@ func (c *cursor) str() (string, error) {
 	return s, nil
 }
 
+// strBytes is str without the string allocation: the returned bytes
+// alias the payload.
+func (c *cursor) strBytes() ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.b) < int(n) {
+		return nil, ErrBadPayload
+	}
+	v := c.b[:n:n]
+	c.b = c.b[n:]
+	return v, nil
+}
+
 func (c *cursor) blob() ([]byte, error) {
 	n, err := c.u32()
 	if err != nil {
@@ -358,6 +373,110 @@ func DecodeErrorMsg(p []byte) (ErrorMsg, error) {
 	var m ErrorMsg
 	var err error
 	if m.Msg, err = c.str(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// Decode views: allocation-free counterparts to the request decoders
+// above for the serving hot path. Queue names come back as []byte and
+// values alias the frame payload, so a view is valid only while the
+// payload buffer is — anything that outlives the frame (an item going
+// into the queue) must be copied by the caller, and the payload must
+// not be recycled until the view is dead.
+
+// InsertView is DecodeInsert's allocation-free result: Queue and
+// Item.Value alias the payload.
+type InsertView struct {
+	Queue []byte
+	Item  Item
+}
+
+func DecodeInsertView(p []byte) (InsertView, error) {
+	c := cursor{p}
+	var m InsertView
+	var err error
+	if m.Queue, err = c.strBytes(); err != nil {
+		return m, err
+	}
+	if m.Item.Pri, err = c.u32(); err != nil {
+		return m, err
+	}
+	if m.Item.Value, err = c.blob(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// InsertBatchView is DecodeInsertBatch without allocation: Items lands
+// in the caller's scratch slice (grown as needed and returned), Queue
+// and every value alias the payload.
+type InsertBatchView struct {
+	Queue []byte
+	Items []Item
+}
+
+func DecodeInsertBatchView(p []byte, scratch []Item) (InsertBatchView, error) {
+	c := cursor{p}
+	m := InsertBatchView{Items: scratch[:0]}
+	var err error
+	if m.Queue, err = c.strBytes(); err != nil {
+		return m, err
+	}
+	n, err := c.u32()
+	if err != nil {
+		return m, err
+	}
+	if n > MaxBatchItems {
+		return m, fmt.Errorf("%w: batch of %d items", ErrBadPayload, n)
+	}
+	if uint64(n)*8 > uint64(len(c.b)) {
+		return m, ErrBadPayload
+	}
+	for i := uint32(0); i < n; i++ {
+		var it Item
+		if it.Pri, err = c.u32(); err != nil {
+			return m, err
+		}
+		if it.Value, err = c.blob(); err != nil {
+			return m, err
+		}
+		m.Items = append(m.Items, it)
+	}
+	return m, c.end()
+}
+
+// QueueReqView is DecodeQueueReq without the string allocation; Queue
+// aliases the payload.
+type QueueReqView struct {
+	Queue []byte
+}
+
+func DecodeQueueReqView(p []byte) (QueueReqView, error) {
+	c := cursor{p}
+	var m QueueReqView
+	var err error
+	if m.Queue, err = c.strBytes(); err != nil {
+		return m, err
+	}
+	return m, c.end()
+}
+
+// DeleteMinBatchView is DecodeDeleteMinBatch without the string
+// allocation; Queue aliases the payload.
+type DeleteMinBatchView struct {
+	Queue []byte
+	Max   uint32
+}
+
+func DecodeDeleteMinBatchView(p []byte) (DeleteMinBatchView, error) {
+	c := cursor{p}
+	var m DeleteMinBatchView
+	var err error
+	if m.Queue, err = c.strBytes(); err != nil {
+		return m, err
+	}
+	if m.Max, err = c.u32(); err != nil {
 		return m, err
 	}
 	return m, c.end()

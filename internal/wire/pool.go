@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buffer freelist for the serving hot path.
+//
+// Frame payloads, response scratch, and item envelopes all want the
+// same thing: a []byte obtained and released once per request with no
+// per-op allocation. sync.Pool cannot hold bare []byte without boxing
+// the slice header on every Put (an allocation — exactly what this
+// exists to remove), and the pointer-box idiom (*[]byte) loses the box
+// the moment a buffer flows into the queue as a plain value. So this
+// is a hand-rolled freelist: a few power-of-two size classes, each
+// striped across mutex-guarded stacks to keep unrelated connections
+// off each other's cache lines.
+//
+// Ownership is explicit: GetBuf transfers the buffer to the caller,
+// PutBuf transfers it back. Nothing here zeroes memory — callers must
+// treat a fresh buffer's contents as garbage — and double-Put is a
+// corruption bug just like double-free.
+
+const (
+	numBufClasses = 4
+	numBufStripes = 16
+	stripeMask    = numBufStripes - 1
+)
+
+// bufClassSizes are the capacities handed out per class. The largest
+// covers a maximal encoded frame (4-byte length prefix + MaxFrame).
+var bufClassSizes = [numBufClasses]int{512, 8 << 10, 128 << 10, MaxFrame + 16}
+
+// bufClassCaps bound how many free buffers one stripe retains per
+// class, so a burst cannot pin memory forever. Worst-case retention is
+// sum(classSize*classCap)*numStripes ≈ 29 MiB, reached only if that
+// many buffers were actually in flight at once.
+var bufClassCaps = [numBufClasses]int{64, 32, 4, 1}
+
+type bufStripe struct {
+	mu   sync.Mutex
+	free [numBufClasses][][]byte
+	_    [64]byte // keep neighbouring stripes off one cache line
+}
+
+var (
+	bufStripes [numBufStripes]bufStripe
+	bufCursor  atomic.Uint32
+)
+
+// bufProbes bounds how many stripes one Get or Put examines before
+// giving up (allocating or dropping). Gets advance the shared cursor;
+// Puts aim at the stripe the next Get will probe first, so a
+// get/put/get/put cadence reuses one buffer without ever probing past
+// its home stripe.
+const bufProbes = 4
+
+func bufClassFor(n int) int {
+	for i, sz := range bufClassSizes {
+		if n <= sz {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a buffer with len 0 and cap ≥ n, from the freelist
+// when possible. The caller owns it until PutBuf.
+func GetBuf(n int) []byte {
+	ci := bufClassFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	start := bufCursor.Add(1)
+	for i := uint32(0); i < bufProbes; i++ {
+		st := &bufStripes[(start+i)&stripeMask]
+		st.mu.Lock()
+		if fl := st.free[ci]; len(fl) > 0 {
+			b := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			st.free[ci] = fl[:len(fl)-1]
+			st.mu.Unlock()
+			return b
+		}
+		st.mu.Unlock()
+	}
+	return make([]byte, 0, bufClassSizes[ci])
+}
+
+// PutBuf returns a buffer to the freelist. Buffers smaller than the
+// smallest class (or nil) are dropped; oversize buffers land in the
+// largest class they can serve. The caller must not touch b afterward.
+func PutBuf(b []byte) {
+	c := cap(b)
+	ci := -1
+	for i := numBufClasses - 1; i >= 0; i-- {
+		if c >= bufClassSizes[i] {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	b = b[:0]
+	start := bufCursor.Load() + 1
+	for i := uint32(0); i < bufProbes; i++ {
+		st := &bufStripes[(start+i)&stripeMask]
+		st.mu.Lock()
+		if len(st.free[ci]) < bufClassCaps[ci] {
+			st.free[ci] = append(st.free[ci], b)
+			st.mu.Unlock()
+			return
+		}
+		st.mu.Unlock()
+	}
+	// Every probed stripe is at capacity: let the GC take it.
+}

@@ -145,6 +145,38 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	return append(dst, f.Payload...)
 }
 
+// BeginFrame appends a frame header for (t, id) to dst with a
+// placeholder length prefix and returns the grown slice plus the
+// offset of that prefix. The caller appends the payload directly after
+// it (with the message's Append method) and then calls EndFrame with
+// the same offset to patch the length in. Encoding straight into a
+// connection's write scratch this way costs zero copies and zero
+// allocations, unlike building a payload and passing it to
+// AppendFrame.
+func BeginFrame(dst []byte, t Type, id uint32) ([]byte, int) {
+	off := len(dst)
+	dst = append(dst, 0, 0, 0, 0, Version, uint8(t), 0, 0)
+	return binary.BigEndian.AppendUint32(dst, id), off
+}
+
+// EndFrame patches the length prefix of a frame started by BeginFrame
+// at off, now that the payload has been appended, and returns dst.
+func EndFrame(dst []byte, off int) []byte {
+	binary.BigEndian.PutUint32(dst[off:], uint32(len(dst)-off-4))
+	return dst
+}
+
+// AppendFrameHeader appends a complete frame header for a payload of
+// exactly payloadLen bytes. For writers that splice the payload in
+// from elsewhere (vectored writes that alias item values instead of
+// copying them), where BeginFrame/EndFrame's patch-after-append cannot
+// see the payload bytes.
+func AppendFrameHeader(dst []byte, t Type, id uint32, payloadLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerLen+payloadLen))
+	dst = append(dst, Version, uint8(t), 0, 0)
+	return binary.BigEndian.AppendUint32(dst, id)
+}
+
 // DecodeFrame decodes one frame from the front of buf, returning the
 // frame and the number of bytes consumed. ErrShort means more input is
 // needed. ErrBadVersion and ErrBadFlags are recoverable: the whole
@@ -236,9 +268,71 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-// WriteFrame writes f to w in one Write call.
+// WriteFrame writes f to w in one Write call. The encode buffer comes
+// from the frame pool, so steady-state calls do not allocate; w must
+// not retain the bytes past the Write call (io.Writer's contract).
 func WriteFrame(w io.Writer, f Frame) error {
-	buf := AppendFrame(make([]byte, 0, 4+headerLen+len(f.Payload)), f)
+	buf := AppendFrame(GetBuf(4+headerLen+len(f.Payload)), f)
 	_, err := w.Write(buf)
+	PutBuf(buf)
 	return err
+}
+
+// A FrameReader reads frames like ReadFrame but without per-frame
+// allocation: the header scratch persists across calls and payloads
+// come from the frame pool. The returned Frame's Payload is owned by
+// the caller, who should hand it back with PutBuf once the request no
+// longer needs it; the error contract is identical to ReadFrame's.
+// A FrameReader is not safe for concurrent use.
+type FrameReader struct {
+	hdr [4 + headerLen]byte
+}
+
+func (fr *FrameReader) ReadFrame(r io.Reader) (Frame, error) {
+	if _, err := io.ReadFull(r, fr.hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[:4])
+	if n > MaxFrame {
+		return Frame{}, ErrTooLarge
+	}
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("%w: length %d below header size", ErrBadPayload, n)
+	}
+	f := Frame{
+		Version: fr.hdr[4],
+		Type:    Type(fr.hdr[5]),
+		ID:      binary.BigEndian.Uint32(fr.hdr[8:12]),
+	}
+	var ferr error
+	if f.Version != Version {
+		ferr = ErrBadVersion
+	} else if binary.BigEndian.Uint16(fr.hdr[6:8]) != 0 {
+		ferr = ErrBadFlags
+	}
+	if n > headerLen {
+		if ferr != nil {
+			// Drain the payload so the stream resyncs on the next frame.
+			if _, err := io.CopyN(io.Discard, r, int64(n-headerLen)); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return Frame{}, err
+			}
+		} else {
+			buf := GetBuf(int(n) - headerLen)
+			f.Payload = buf[:n-headerLen]
+			if _, err := io.ReadFull(r, f.Payload); err != nil {
+				PutBuf(buf)
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return Frame{}, err
+			}
+		}
+	}
+	if ferr != nil {
+		return Frame{Version: f.Version, Type: f.Type, ID: f.ID}, ferr
+	}
+	return f, nil
 }

@@ -47,6 +47,13 @@ type conn struct {
 
 	sendCh chan *call
 
+	// Encode scratch, touched only by the writeLoop goroutine: frames
+	// are built in enc and written in one go, and coalesced batches
+	// borrow itemsScratch, so the steady-state send path reuses the
+	// same buffers instead of allocating per call.
+	enc          []byte
+	itemsScratch []wire.Item
+
 	mu      sync.Mutex
 	pend    map[uint32]pending
 	nextID  uint32
@@ -207,23 +214,25 @@ func oversizedErr(n int) error {
 	return fmt.Errorf("pqclient: request payload %d bytes exceeds the %d-byte frame limit", n, wire.MaxPayload)
 }
 
-// writeInserts sends a group of same-queue inserts as one frame.
+// writeInserts sends a group of same-queue inserts as one frame,
+// encoded into the conn's reusable scratch. The payload size is
+// computed up front so an oversized group is refused before a request
+// id is burned on it.
 func (c *conn) writeInserts(bw *bufio.Writer, group []*call) error {
 	var typ wire.Type
-	var payload []byte
+	var size int
 	if len(group) == 1 {
 		typ = wire.TInsert
-		payload = wire.Insert{Queue: group[0].queue, Item: group[0].item}.Append(nil)
+		size = 2 + len(group[0].queue) + 8 + len(group[0].item.Value)
 	} else {
 		typ = wire.TInsertBatch
-		m := wire.InsertBatch{Queue: group[0].queue, Items: make([]wire.Item, len(group))}
-		for i, g := range group {
-			m.Items[i] = g.item
+		size = 2 + len(group[0].queue) + 4
+		for _, g := range group {
+			size += 8 + len(g.item.Value)
 		}
-		payload = m.Append(nil)
 	}
-	if len(payload) > wire.MaxPayload {
-		err := oversizedErr(len(payload))
+	if size > wire.MaxPayload {
+		err := oversizedErr(size)
 		for _, g := range group {
 			g.finish(wire.Frame{}, err)
 		}
@@ -233,7 +242,20 @@ func (c *conn) writeInserts(bw *bufio.Writer, group []*call) error {
 	if !ok {
 		return c.closeErr()
 	}
-	return wire.WriteFrame(bw, wire.Frame{Type: typ, ID: id, Payload: payload})
+	buf, off := wire.BeginFrame(c.enc[:0], typ, id)
+	if typ == wire.TInsert {
+		buf = wire.Insert{Queue: group[0].queue, Item: group[0].item}.Append(buf)
+	} else {
+		items := c.itemsScratch[:0]
+		for _, g := range group {
+			items = append(items, g.item)
+		}
+		c.itemsScratch = items[:0]
+		buf = wire.InsertBatch{Queue: group[0].queue, Items: items}.Append(buf)
+	}
+	c.enc = wire.EndFrame(buf, off)
+	_, err := bw.Write(c.enc)
+	return err
 }
 
 func (c *conn) writeOne(bw *bufio.Writer, cl *call) error {
@@ -245,7 +267,10 @@ func (c *conn) writeOne(bw *bufio.Writer, cl *call) error {
 	if !ok {
 		return c.closeErr()
 	}
-	return wire.WriteFrame(bw, wire.Frame{Type: cl.kind, ID: id, Payload: cl.payload})
+	c.enc = wire.AppendFrameHeader(c.enc[:0], cl.kind, id, len(cl.payload))
+	c.enc = append(c.enc, cl.payload...)
+	_, err := bw.Write(c.enc)
+	return err
 }
 
 // resendSolo re-enqueues calls marked solo so they are sent as
@@ -267,20 +292,36 @@ func (c *conn) resendSolo(calls []*call) {
 	}()
 }
 
-// readLoop matches responses to pending calls.
+// readLoop matches responses to pending calls. Payloads come from the
+// wire buffer pool; a response to an insert-only group is fully decoded
+// inside deliver (Insert callers read only cl.err, never resp.Payload),
+// so those payloads can be recycled here — the insert hot path reuses
+// one pooled buffer per response instead of allocating each.
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var fr wire.FrameReader
 	for {
-		f, err := wire.ReadFrame(br)
+		f, err := fr.ReadFrame(br)
 		if err != nil {
 			c.close(err)
 			return
 		}
 		p, ok := c.take(f.ID)
 		if !ok {
+			wire.PutBuf(f.Payload)
 			continue // response to an abandoned request
 		}
+		insertOnly := true
+		for _, cl := range p.calls {
+			if cl.kind != wire.TInsert {
+				insertOnly = false
+				break
+			}
+		}
 		c.deliver(p, f)
+		if insertOnly {
+			wire.PutBuf(f.Payload)
+		}
 	}
 }
 
