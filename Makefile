@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-relaxed bench-serve figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke
+.PHONY: all build test race bench bench-json bench-relaxed bench-serve figures repro repro-quick chaos-quick examples vet fmt lint pqd pqload loadtest-quick loadtest-durable loadtest-obs admin-smoke cluster-smoke
 
 all: build test
 
@@ -96,6 +96,18 @@ loadtest-obs:
 # endpoints, and assert every required /metrics family is present.
 admin-smoke:
 	GO="$(GO)" sh ./scripts/admin_smoke.sh
+
+# Cluster smoke: three pqd nodes sharing one cluster map under
+# cluster-routed pqload — zero lost/duplicated items cluster-wide,
+# valid per-node + aggregate pq-bench/v1 JSON, clean SIGTERM exits.
+cluster-smoke:
+	GO="$(GO)" sh ./scripts/cluster_smoke.sh
+
+# Cluster scaling curve: the same insert burst against 1-, 2- and
+# 3-node clusters of capacity-bounded nodes; fails unless the
+# aggregate burst goodput increases monotonically with node count.
+cluster-scaling:
+	GO="$(GO)" sh ./scripts/cluster_scaling.sh
 
 examples:
 	$(GO) run ./examples/quickstart

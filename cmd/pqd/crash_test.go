@@ -60,17 +60,32 @@ type pqdProc struct {
 	addr string
 }
 
+// newHelperCmd builds a helper-process pqd invocation with the given
+// daemon flags.
+func newHelperCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=^TestHelperProcess$", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), helperEnv+"=1")
+	return cmd
+}
+
 // startPQD launches the helper-process daemon and waits for its
 // listening line.
 func startPQD(t *testing.T, dataDir, alg string) *pqdProc {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperProcess$", "--",
+	cmd := newHelperCmd(t,
 		"-addr", "127.0.0.1:0",
 		"-queues", "jobs:"+alg+":16:2:0",
 		"-data-dir", dataDir,
 		"-fsync", "always",
 		"-q")
-	cmd.Env = append(os.Environ(), helperEnv+"=1")
+	return waitListening(t, cmd)
+}
+
+// waitListening starts cmd and blocks until it reports its bound
+// address on stdout.
+func waitListening(t *testing.T, cmd *exec.Cmd) *pqdProc {
+	t.Helper()
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,12 @@
 // tail, and a graceful shutdown seals the log so the next boot is a
 // pure snapshot load. See the README's Durability section.
 //
+// With -cluster-map (plus -cluster-self), the daemon joins a static
+// cluster: it serves only the priority ranges the map assigns to it and
+// NACKs misrouted inserts with WRONG_NODE so cluster-aware clients
+// (pqclient.ClusterClient, pqload -cluster) can re-route. See the
+// README's Cluster mode section.
+//
 // With -admin-addr set, a second listener serves the ops surface:
 // Prometheus /metrics, /healthz and /readyz probes, a JSON /statusz
 // snapshot, and /debug/pprof. -slow-op warn-logs slow queue ops and
@@ -46,6 +52,7 @@ import (
 	"pq"
 	"pq/internal/server"
 	"pq/internal/wal"
+	"pq/internal/wire"
 )
 
 func main() {
@@ -72,6 +79,9 @@ func run(args []string) error {
 		snapshotEvery = fs.Int("snapshot-every", 100000, "snapshot after this many log records (<0 disables)")
 
 		relaxed = fs.Bool("relaxed", false, "allow relaxed algorithms (MultiQueue) in -queues: delete-min may return an item while strictly better items remain queued")
+
+		clusterMap  = fs.String("cluster-map", "", "cluster map JSON file: this node serves only its owned priority ranges and NACKs misrouted inserts with WRONG_NODE")
+		clusterSelf = fs.String("cluster-self", "", "this node's address as written in -cluster-map (required with -cluster-map)")
 
 		adminAddr = fs.String("admin-addr", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
 		slowOp    = fs.Duration("slow-op", 0, "warn-log queue ops slower than this (0 disables)")
@@ -151,6 +161,22 @@ func run(args []string) error {
 					st.Durability.ReplayedRecords, st.Durability.TornTail)
 			}
 		}
+	}
+
+	if *clusterMap != "" {
+		if *clusterSelf == "" {
+			return fmt.Errorf("-cluster-map requires -cluster-self")
+		}
+		m, err := wire.LoadClusterMap(*clusterMap)
+		if err != nil {
+			return err
+		}
+		if err := srv.SetClusterMap(m, *clusterSelf); err != nil {
+			return err
+		}
+		logf("pqd: cluster mode: map v%d, %d nodes, self=%s", m.Version, len(m.Nodes), *clusterSelf)
+	} else if *clusterSelf != "" {
+		return fmt.Errorf("-cluster-self requires -cluster-map")
 	}
 
 	sigs := make(chan os.Signal, 1)

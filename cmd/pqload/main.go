@@ -43,6 +43,7 @@ func main() {
 
 type options struct {
 	addr       string
+	cluster    string
 	queue      string
 	workers    int
 	conns      int
@@ -61,6 +62,7 @@ func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("pqload", flag.ContinueOnError)
 	var o options
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:7070", "pqd address")
+	fs.StringVar(&o.cluster, "cluster", "", "comma-separated pqd node addresses: run cluster-mode load through the routing client (overrides -addr); the map is fetched from the first reachable node")
 	fs.StringVar(&o.queue, "queue", "default", "queue name")
 	fs.IntVar(&o.workers, "workers", 8, "concurrent workers")
 	fs.IntVar(&o.conns, "conns", 2, "pooled connections per client")
@@ -95,6 +97,18 @@ func parseFlags(args []string) (options, error) {
 		return o, fmt.Errorf("-value-size must be >= 8, got %d", o.valueSize)
 	}
 	return o, nil
+}
+
+// qclient is the slice of the client API the load loop needs; both the
+// single-node *pqclient.Client and the routing *pqclient.ClusterClient
+// satisfy it.
+type qclient interface {
+	Insert(ctx context.Context, queue string, pri int, value []byte) error
+	DeleteMin(ctx context.Context, queue string) (pqclient.Item, bool, error)
+	DeleteMinBatch(ctx context.Context, queue string, max int) ([]pqclient.Item, error)
+	Stats(ctx context.Context, queue string) (pqclient.QueueStats, error)
+	Drain(ctx context.Context, queue string) (uint64, error)
+	Close() error
 }
 
 // workerResult is one worker's tallies from the timed phase.
@@ -138,9 +152,32 @@ func run(args []string, out *os.File) error {
 		}()
 	}
 
-	client, err := pqclient.Dial(pqclient.Config{Addr: o.addr, Conns: o.conns})
-	if err != nil {
-		return err
+	// Single-node and cluster mode share the worker loop through this
+	// interface; *pqclient.Client and *pqclient.ClusterClient both
+	// satisfy it.
+	var (
+		client  qclient
+		cluster *pqclient.ClusterClient
+	)
+	if o.cluster != "" {
+		seeds := strings.Split(o.cluster, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
+		}
+		cc, err := pqclient.DialCluster(pqclient.ClusterConfig{
+			Seeds: seeds, BootstrapQueue: o.queue, Conns: o.conns,
+		})
+		if err != nil {
+			return err
+		}
+		cluster = cc
+		client = cc
+	} else {
+		c, err := pqclient.Dial(pqclient.Config{Addr: o.addr, Conns: o.conns})
+		if err != nil {
+			return err
+		}
+		client = c
 	}
 	defer client.Close()
 
@@ -150,6 +187,15 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("queue %q: %w", o.queue, err)
 	}
 	pris := st0.Priorities
+
+	// Cluster mode: per-node counter baselines, so the per-node bench
+	// runs report only this run's traffic.
+	var nodeBase map[string]pqclient.QueueStats
+	if cluster != nil {
+		if nodeBase, err = cluster.NodeStats(context.Background(), o.queue); err != nil {
+			return err
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
 	defer cancel()
@@ -253,9 +299,22 @@ func run(args []string, out *os.File) error {
 		total.empties += r.empties
 		total.sheds += r.sheds
 	}
+	// Per-node snapshot at the end of the timed phase (before the drain
+	// inflates delete counters).
+	var nodeEnd map[string]pqclient.QueueStats
+	if cluster != nil {
+		if nodeEnd, err = cluster.NodeStats(context.Background(), o.queue); err != nil {
+			return err
+		}
+	}
+
 	ops := total.acked + total.deletes + total.empties
 	if ops == 0 {
-		return fmt.Errorf("no operations completed — is pqd up at %s?", o.addr)
+		target := o.addr
+		if o.cluster != "" {
+			target = o.cluster
+		}
+		return fmt.Errorf("no operations completed — is pqd up at %s?", target)
 	}
 
 	// Drain phase: stop admission, pop until empty, then check
@@ -287,7 +346,11 @@ func run(args []string, out *os.File) error {
 	insSum := stats.Summarize(total.insLats)
 	delSum := stats.Summarize(total.delLats)
 	thr := float64(ops) / elapsed.Seconds()
-	fmt.Fprintf(out, "pqload: %s %s: %d workers, %v\n", o.addr, o.queue, o.workers, elapsed.Round(time.Millisecond))
+	target := o.addr
+	if o.cluster != "" {
+		target = "cluster[" + o.cluster + "]"
+	}
+	fmt.Fprintf(out, "pqload: %s %s: %d workers, %v\n", target, o.queue, o.workers, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "  ops/sec      %12.0f  (closed-loop=%v mix=%.2f)\n", thr, o.rate == 0, o.mix)
 	fmt.Fprintf(out, "  inserts      %12d  shed %d\n", total.acked, total.sheds)
 	fmt.Fprintf(out, "  deletes      %12d  empty %d  drained %d\n", total.deletes, total.empties, drained)
@@ -295,6 +358,19 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "  delete ns    %s\n", delSum)
 	fmt.Fprintf(out, "  server       inserts=%d deletes=%d shed=%d size=%d\n",
 		stFinal.Inserts, stFinal.Deletes, stFinal.RetryAfter, stFinal.Size)
+	if cluster != nil {
+		m := cluster.Map()
+		fmt.Fprintf(out, "  cluster      map v%d, %d nodes, stash=%d\n", m.Version, len(m.Nodes), cluster.Stashed())
+		for _, n := range m.Nodes {
+			b, e := nodeBase[n.Addr], nodeEnd[n.Addr]
+			var mis int64
+			if e.Cluster != nil {
+				mis = e.Cluster.Misroutes
+			}
+			fmt.Fprintf(out, "  node %-21s inserts=%d deletes=%d empty=%d misroutes=%d\n",
+				n.Addr, e.Inserts-b.Inserts, e.Deletes-b.Deletes, e.EmptyDeletes-b.EmptyDeletes, mis)
+		}
+	}
 	if d := stFinal.Durability; d != nil {
 		fmt.Fprintf(out, "  durability   fsync=%s appends=%d fsyncs=%d wal_bytes=%d segments=%d snapshots=%d\n",
 			d.FsyncPolicy, d.Appends, d.Fsyncs, d.WALBytes, d.Segments, d.Snapshots)
@@ -314,8 +390,14 @@ func run(args []string, out *os.File) error {
 	if o.jsonPath != "" {
 		// A durable queue gets a distinct algorithm label ("+wal") so its
 		// run can share one service-suite file with the in-memory run —
-		// that merged file IS the durable-vs-memory comparison.
+		// that merged file IS the durable-vs-memory comparison. A
+		// cluster run gets "pqd/cluster/..." for the aggregate plus one
+		// "@<addr>" run per node (server-side counters and service
+		// times), so the per-node balance is in the same document.
 		algLabel := "pqd/" + stFinal.Algorithm
+		if cluster != nil {
+			algLabel = "pqd/cluster/" + stFinal.Algorithm
+		}
 		internals := map[string]float64{
 			"client_sheds":       float64(total.sheds),
 			"drained":            float64(drained),
@@ -351,6 +433,19 @@ func run(args []string, out *os.File) error {
 				internals["wal_group_commit_p50"] = d.GroupCommit.P50
 			}
 		}
+		if cluster != nil {
+			m := cluster.Map()
+			internals["cluster_nodes"] = float64(len(m.Nodes))
+			internals["cluster_map_version"] = float64(m.Version)
+			var mis int64
+			for _, e := range nodeEnd {
+				if e.Cluster != nil {
+					mis += e.Cluster.Misroutes
+				}
+			}
+			internals["cluster_misroutes"] = float64(mis)
+			internals["cluster_stash"] = float64(cluster.Stashed())
+		}
 		run := harness.BenchRun{
 			Algorithm:           algLabel,
 			Procs:               o.workers,
@@ -381,6 +476,9 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		bf.Runs = append(bf.Runs, run)
+		if cluster != nil {
+			bf.Runs = append(bf.Runs, clusterNodeRuns(cluster, nodeBase, nodeEnd, elapsed, o.workers)...)
+		}
 		if err := bf.Validate(); err != nil {
 			return fmt.Errorf("generated JSON does not validate: %w", err)
 		}
@@ -406,6 +504,63 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+// clusterNodeRuns builds one bench run per cluster node from the
+// server-side counter deltas of the timed phase. Op counts are the
+// node's admitted/served totals (which include cluster-client put-back
+// re-inserts — they are real server work); the latency quantiles are
+// the node's service-time distributions, with the record counts pinned
+// to the op counters so the document validates like any service run.
+func clusterNodeRuns(cluster *pqclient.ClusterClient, base, end map[string]pqclient.QueueStats, elapsed time.Duration, workers int) []harness.BenchRun {
+	var runs []harness.BenchRun
+	for _, n := range cluster.Map().Nodes {
+		b, e := base[n.Addr], end[n.Addr]
+		ins := int(e.Inserts - b.Inserts)
+		del := int(e.Deletes - b.Deletes)
+		emp := int(e.EmptyDeletes - b.EmptyDeletes)
+		if ins+del+emp == 0 {
+			continue // node saw no traffic; an empty run would not validate
+		}
+		insLat := harness.BenchLatency{Count: ins}
+		delLat := harness.BenchLatency{Count: del + emp}
+		if l := e.Latency; l != nil {
+			id, dd := l.Insert, l.DeleteMin
+			if id.Count == 0 {
+				id = l.InsertBatch
+			}
+			if dd.Count == 0 {
+				dd = l.DeleteMinBatch
+			}
+			insLat.Mean, insLat.P50, insLat.P90, insLat.P99 = id.Mean, id.P50, id.P90, id.P99
+			insLat.P95, insLat.Max = id.P99, id.P99
+			delLat.Mean, delLat.P50, delLat.P90, delLat.P99 = dd.Mean, dd.P50, dd.P90, dd.P99
+			delLat.P95, delLat.Max = dd.P99, dd.P99
+		}
+		internals := map[string]float64{
+			"server_retry_after": float64(e.RetryAfter - b.RetryAfter),
+			"server_shards":      float64(e.Shards),
+		}
+		if e.Cluster != nil {
+			internals["cluster_misroutes"] = float64(e.Cluster.Misroutes)
+		}
+		alg := e.Algorithm
+		if e.Durability != nil {
+			alg += "+wal"
+		}
+		runs = append(runs, harness.BenchRun{
+			Algorithm:           "pqd/" + alg + "@" + n.Addr,
+			Procs:               workers,
+			Inserts:             ins,
+			Deletes:             del,
+			FailedDeletes:       emp,
+			ThroughputOpsPerSec: float64(ins+del+emp) / elapsed.Seconds(),
+			Insert:              insLat,
+			Delete:              delLat,
+			Internals:           internals,
+		})
+	}
+	return runs
 }
 
 func putID(b []byte, id uint64) {

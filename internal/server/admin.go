@@ -96,7 +96,10 @@ type statuszDoc struct {
 	ConnsActive  int64    `json:"conns_active"`
 	Ready        bool     `json:"ready"`
 	ReadyErr     string   `json:"ready_err,omitempty"`
-	Queues       []quStat `json:"queues"`
+	// Cluster is present when the server runs with a cluster map: the
+	// full versioned map, this node's identity, and its misroute count.
+	Cluster *wire.ClusterStats `json:"cluster,omitempty"`
+	Queues  []quStat           `json:"queues"`
 }
 
 type quStat struct {
@@ -160,6 +163,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	} else {
 		doc.Ready = true
 	}
+	doc.Cluster = s.clusterStats()
 	s.mu.RLock()
 	queues := make([]*servedQueue, 0, len(s.queues))
 	for _, q := range s.queues {

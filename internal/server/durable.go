@@ -55,6 +55,7 @@ func (q *servedQueue) attachWAL(l *wal.Log, rec wal.Recovery, snapEvery int) err
 	q.snapEvery = snapEvery
 	for s, batch := range byShard {
 		pq.InsertBatch(q.shards[s], batch)
+		q.occAdd(s, len(batch))
 	}
 	if n := int64(len(rec.Items)); n > 0 {
 		q.inserts.Add(n)
@@ -118,6 +119,7 @@ func (q *servedQueue) insertDurable(it wire.Item) (insertStatus, error) {
 	q.shards[s].Insert(pri-q.bases[s], durTag(id, it.Pri, it.Value))
 	q.inserts.Add(1)
 	q.noteShardIns(s, 1)
+	q.occAdd(s, 1)
 	q.maybeSnapshot()
 	return insOK, nil
 }
@@ -172,6 +174,7 @@ func (q *servedQueue) insertBatchDurable(items []wire.Item) (int, error) {
 	for s, batch := range byShard {
 		pq.InsertBatch(q.shards[s], batch)
 		q.noteShardIns(s, len(batch))
+		q.occAdd(s, len(batch))
 	}
 	q.inserts.Add(int64(accepted))
 	q.maybeSnapshot()
@@ -234,6 +237,7 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int, envs [][]byte) ([][
 		if len(got) == 0 {
 			continue
 		}
+		q.occAdd(si, -len(got)) // putBackN re-books anything returned
 		took := 0
 		for _, item := range got {
 			v := item.Val
@@ -248,6 +252,7 @@ func (q *servedQueue) deleteMinBatchDurable(max, budget int, envs [][]byte) ([][
 			keptShard = append(keptShard, si)
 			took++
 		}
+		q.rankRecord(si, took)
 		if took < len(got) {
 			q.putBackN(si, got[took:])
 			break
@@ -297,6 +302,7 @@ func (q *servedQueue) snapshot(wait bool) error {
 	var items []wal.Item
 	for si, sub := range q.shards {
 		drained := pq.Drain(sub)
+		q.occAdd(si, -len(drained)) // putBackN below restores them
 		for _, it := range drained {
 			v := it.Val
 			items = append(items, wal.Item{

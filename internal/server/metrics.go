@@ -246,6 +246,15 @@ func (s *Server) writeProm(w io.Writer) error {
 		}
 	}
 
+	if cl := s.cluster.Load(); cl != nil {
+		p.Header("pq_cluster_map_version", "gauge", "Version of the active cluster map.")
+		p.Sample("pq_cluster_map_version", "", float64(cl.m.Version))
+		p.Header("pq_cluster_nodes", "gauge", "Nodes in the active cluster map.")
+		p.Sample("pq_cluster_nodes", "", float64(len(cl.m.Nodes)))
+		p.Header("pq_cluster_misroutes_total", "counter", "Inserts NACKed with WRONG_NODE (priority owned by another node).")
+		p.Sample("pq_cluster_misroutes_total", "", float64(cl.misroutes.Load()))
+	}
+
 	p.Header("pq_queue_shard_inserts_total", "counter", "Items routed to each priority-range shard.")
 	p.Header("pq_queue_shard_deletes_total", "counter", "Items delivered from each priority-range shard.")
 	for _, q := range queues {

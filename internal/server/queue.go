@@ -96,6 +96,81 @@ type servedQueue struct {
 	// is the instrumentation hook handed to the queue's WAL.
 	met    *queueMetrics
 	walMet *obs.WALMetrics
+
+	// rank is the cross-shard rank-error estimator, allocated only for
+	// relaxed algorithms behind priority-range sharding (see crossRank).
+	rank *crossRank
+}
+
+// crossRank corrects the documented understatement of per-shard rank
+// accounting behind sharding: a relaxed shard's RelaxStats only counts
+// strictly-better items *within its own priority band*, so when a
+// MultiQueue shard spuriously declines under TryLock contention and
+// the scan falls through to a later shard, the items still queued in
+// earlier (strictly better) bands go uncounted. The estimator tracks
+// approximate live occupancy per shard and, at each pop served from
+// shard s, charges the pop with the occupancy of shards < s — zero
+// whenever the scan found earlier shards genuinely empty, so an exact
+// scan contributes nothing. Occupancy is maintained with relaxed
+// atomics and read without synchronization, so the correction is an
+// estimate (exactly right at quiescence), matching the quiescent
+// consistency of the counters it merges into.
+type crossRank struct {
+	occ  []atomic.Int64 // live items per shard (approximate in flight)
+	pops atomic.Int64   // pops charged with a cross-shard extra (incl. zero)
+	sum  atomic.Int64   // total cross-shard extra over those pops
+	max  atomic.Int64   // worst single-pop cross-shard extra
+}
+
+// occAdd books n items into shard's occupancy (negative n removes).
+func (q *servedQueue) occAdd(shard, n int) {
+	if q.rank != nil && n != 0 {
+		q.rank.occ[shard].Add(int64(n))
+	}
+}
+
+// extraBelow sums the live occupancy of shards strictly better than
+// shard — the definitely-better items a per-shard rank cannot see.
+func (r *crossRank) extraBelow(shard int) int64 {
+	var x int64
+	for j := 0; j < shard; j++ {
+		if n := r.occ[j].Load(); n > 0 {
+			x += n
+		}
+	}
+	return x
+}
+
+// rankRecord charges n pops served from shard with the current
+// better-band occupancy, without touching occupancy itself (for
+// callers that account occupancy separately, like the batch paths).
+func (q *servedQueue) rankRecord(shard, n int) {
+	r := q.rank
+	if r == nil || n <= 0 {
+		return
+	}
+	extra := r.extraBelow(shard)
+	r.pops.Add(int64(n))
+	if extra == 0 {
+		return
+	}
+	r.sum.Add(extra * int64(n))
+	for {
+		cur := r.max.Load()
+		if extra <= cur || r.max.CompareAndSwap(cur, extra) {
+			return
+		}
+	}
+}
+
+// rankPopped records n pops served from shard and removes them from
+// its occupancy, charging each with the current better-band occupancy.
+func (q *servedQueue) rankPopped(shard, n int) {
+	if q.rank == nil || n <= 0 {
+		return
+	}
+	q.rankRecord(shard, n)
+	q.rank.occ[shard].Add(int64(-n))
 }
 
 func newServedQueue(spec QueueSpec, concurrency int) (*servedQueue, error) {
@@ -118,6 +193,9 @@ func newServedQueue(spec QueueSpec, concurrency int) (*servedQueue, error) {
 	if spec.Capacity > 0 {
 		q.admit = pq.NewCounterBounds(0, 0, spec.Capacity,
 			pq.WithConcurrency(concurrency))
+	}
+	if pq.IsRelaxed(spec.Algorithm) && spec.Shards > 1 {
+		q.rank = &crossRank{occ: make([]atomic.Int64, spec.Shards)}
 	}
 	return q, nil
 }
@@ -181,6 +259,7 @@ func (q *servedQueue) insert(it wire.Item) (insertStatus, error) {
 	q.shards[s].Insert(pri-q.bases[s], tagged)
 	q.inserts.Add(1)
 	q.noteShardIns(s, 1)
+	q.occAdd(s, 1)
 	return insOK, nil
 }
 
@@ -205,6 +284,7 @@ func (q *servedQueue) noteShardDel(shard, n int) {
 func (q *servedQueue) popRaw() ([]byte, int, bool) {
 	for si, sub := range q.shards {
 		if v, ok := sub.DeleteMin(); ok {
+			q.rankPopped(si, 1)
 			return v, si, true
 		}
 	}
@@ -218,6 +298,7 @@ func (q *servedQueue) putBack(tagged []byte) {
 	pri := int(binary.BigEndian.Uint32(tagged))
 	s := q.shardFor(pri)
 	q.shards[s].Insert(pri-q.bases[s], tagged)
+	q.occAdd(s, 1)
 }
 
 // consumeOverflow takes up to n units of the recovered-beyond-capacity
@@ -332,6 +413,7 @@ func (q *servedQueue) insertBatch(items []wire.Item) (int, error) {
 	for s, batch := range byShard {
 		pq.InsertBatch(q.shards[s], batch)
 		q.noteShardIns(s, len(batch))
+		q.occAdd(s, len(batch))
 	}
 	q.inserts.Add(int64(accepted))
 	return accepted, nil
@@ -347,6 +429,7 @@ func (q *servedQueue) putBackN(shard int, got []pq.Item[[]byte]) {
 		batch[i] = pq.Item[[]byte]{Pri: pri - q.bases[shard], Val: it.Val}
 	}
 	pq.InsertBatch(q.shards[shard], batch)
+	q.occAdd(shard, len(got))
 }
 
 // popCommitN records n pops whose items will be delivered: one
@@ -404,6 +487,8 @@ func (q *servedQueue) deleteMinBatch(max, budget int, envs [][]byte) ([][]byte, 
 		}
 		q.popCommitN(kept)
 		q.noteShardDel(si, kept)
+		q.rankRecord(si, kept)
+		q.occAdd(si, -len(got)) // putBackN below re-books the un-kept tail
 		if kept < len(got) {
 			// Budget exhausted: the remainder goes back exactly once.
 			q.putBackN(si, got[kept:])
@@ -483,6 +568,7 @@ func (q *servedQueue) peek(max int) []wire.Item {
 		if len(got) == 0 {
 			continue
 		}
+		q.occAdd(si, -len(got)) // putBackN below books them back in
 		for _, it := range got {
 			v := it.Val
 			// Copy: the envelope goes straight back into the live queue
@@ -505,11 +591,15 @@ func (q *servedQueue) size() int64 { return q.inserts.Load() - q.deletes.Load() 
 // order for scalability.
 func (q *servedQueue) relaxed() bool { return pq.IsRelaxed(q.spec.Algorithm) }
 
-// relaxStats merges the rank-error accounting of every shard. ok is
-// false for exact algorithms, which carry no such accounting. Ranks are
-// per-shard (a shard only sees its own priority band), so the merged
-// distribution understates global rank error when Shards > 1 — still
-// the right operational signal: within a band is where relaxation bites.
+// relaxStats merges the rank-error accounting of every shard and then
+// applies the cross-shard estimator (crossRank): per-shard ranks only
+// see their own priority band, so with Shards > 1 the merged RankSum
+// and RankMax are corrected by the estimator's better-band occupancy
+// charges. The per-rank Counts histogram (and so the quantiles) stays
+// within-shard — a pop's within-shard rank and its cross-shard extra
+// cannot be aligned after the fact — which the mean and max no longer
+// suffer from. ok is false for exact algorithms, which carry no such
+// accounting.
 func (q *servedQueue) relaxStats() (pq.RelaxStats, bool) {
 	var total pq.RelaxStats
 	found := false
@@ -517,6 +607,16 @@ func (q *servedQueue) relaxStats() (pq.RelaxStats, bool) {
 		if rs, ok := pq.RelaxStatsOf(sub); ok {
 			total = total.Merge(rs)
 			found = true
+		}
+	}
+	if found && total.Tracked && q.rank != nil {
+		total.RankSum += q.rank.sum.Load()
+		// The true worst pop is its within-shard rank plus its
+		// cross-shard extra; those aren't aligned per pop, so take the
+		// larger of the two maxima — still a lower bound on the true
+		// max, but no longer blind to cross-shard error.
+		if m := q.rank.max.Load(); m > total.RankMax {
+			total.RankMax = m
 		}
 	}
 	return total, found

@@ -168,6 +168,11 @@ type Server struct {
 	met        *serverMetrics
 	metricsOn  bool
 	nextConnID atomic.Uint64
+
+	// cluster, when set (SetClusterMap), makes this server one node of
+	// a multi-node deployment: inserts outside its owned priority
+	// ranges are NACKed with TWrongNode and the map is served in STATS.
+	cluster atomic.Pointer[clusterState]
 }
 
 // New builds a server with no queues; add them with AddQueue before
@@ -192,6 +197,10 @@ func (s *Server) AddQueue(spec QueueSpec) error {
 		if strings.ContainsAny(spec.Name, "/\\") || spec.Name == "." || spec.Name == ".." {
 			return fmt.Errorf("server: durable queue name %q must be a plain directory name", spec.Name)
 		}
+	}
+	if cl := s.cluster.Load(); cl != nil && spec.Priorities != cl.m.Priorities {
+		return fmt.Errorf("server: queue %q spans %d priorities but the cluster map covers %d; every queue on a cluster node must span the map's full priority space",
+			spec.Name, spec.Priorities, cl.m.Priorities)
 	}
 	if pq.IsRelaxed(spec.Algorithm) && !s.cfg.AllowRelaxed {
 		return fmt.Errorf("server: queue %q: algorithm %q relaxes delete-min ordering (better items may remain queued when an item is delivered); set Config.AllowRelaxed (pqd -relaxed) to serve it",
@@ -270,7 +279,9 @@ func (s *Server) QueueStats(name string) (wire.QueueStats, bool) {
 	if q == nil {
 		return wire.QueueStats{}, false
 	}
-	return q.stats(), true
+	st := q.stats()
+	st.Cluster = s.clusterStats()
+	return st, true
 }
 
 // ListenAndServe listens on addr and serves until Shutdown or Close.
@@ -647,6 +658,10 @@ func (s *Server) handle(r connReq, w *respWriter, cs connState) error {
 		if q == nil {
 			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
+		if cl := s.cluster.Load(); cl != nil &&
+			int(m.Item.Pri) < q.spec.Priorities && !cl.owns(int(m.Item.Pri)) {
+			return s.replyWrongNode(w, f.ID, cl, int(m.Item.Pri))
+		}
 		t0 := q.opClock()
 		st, err := q.insert(m.Item)
 		s.opDone(q, opInsert, t0, cs)
@@ -676,13 +691,20 @@ func (s *Server) handle(r connReq, w *respWriter, cs connState) error {
 		// Validate the whole batch before admitting any of it, so a
 		// batch is either a protocol error or an admitted prefix. The
 		// error names the offending index: a client that coalesced
-		// unrelated inserts can tell whose item was bad.
+		// unrelated inserts can tell whose item was bad. A misrouted
+		// member NACKs the whole batch un-admitted: the batch is not a
+		// prefix-acceptance case, because every member needs re-routing
+		// by a client whose map is demonstrably stale.
+		cl := s.cluster.Load()
 		for i, it := range m.Items {
 			if int(it.Pri) >= q.spec.Priorities {
 				return s.replyErr(w, f.ID, "item %d: priority %d out of range [0,%d)", i, it.Pri, q.spec.Priorities)
 			}
 			if len(it.Value) > wire.MaxValue {
 				return s.replyErr(w, f.ID, "item %d: value %d bytes exceeds limit %d", i, len(it.Value), wire.MaxValue)
+			}
+			if cl != nil && !cl.owns(int(it.Pri)) {
+				return s.replyWrongNode(w, f.ID, cl, int(it.Pri))
 			}
 		}
 		t0 := q.opClock()
@@ -762,7 +784,9 @@ func (s *Server) handle(r connReq, w *respWriter, cs connState) error {
 			return s.replyErr(w, f.ID, "no such queue %q", m.Queue)
 		}
 		s.opDone(q, opStats, time.Time{}, cs)
-		data, err := json.Marshal(q.stats())
+		st := q.stats()
+		st.Cluster = s.clusterStats()
+		data, err := json.Marshal(st)
 		if err != nil {
 			return s.replyErr(w, f.ID, "stats: %v", err)
 		}

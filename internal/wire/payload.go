@@ -515,6 +515,8 @@ func DecodePayload(f Frame) (any, error) {
 		return DecodeDrained(f.Payload)
 	case TError:
 		return DecodeErrorMsg(f.Payload)
+	case TWrongNode:
+		return DecodeWrongNode(f.Payload)
 	}
 	return nil, ErrUnknownType
 }

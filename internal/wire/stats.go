@@ -10,8 +10,11 @@ package wire
 //
 // v2 added the durability block; v3 adds server-measured latency
 // distributions (QueueStats.Latency) and the WAL's fsync-latency and
-// group-commit distributions inside the durability block.
-const StatsVersion = 3
+// group-commit distributions inside the durability block; v4 adds the
+// cluster block (QueueStats.Cluster) on nodes running with a cluster
+// map, carrying the full versioned map so clients can bootstrap or
+// refresh routing from any node.
+const StatsVersion = 4
 
 // QueueStats is the JSON document carried by a TStatsReply frame. It is
 // defined here so server and client marshal/unmarshal the same shape.
@@ -48,6 +51,10 @@ type QueueStats struct {
 	// and client stack, so comparing them with client-observed
 	// latencies separates queue cost from wire cost.
 	Latency *ServerLatencyStats `json:"latency,omitempty"`
+	// Cluster is present (stats_version >= 4) only when the server runs
+	// with a cluster map; it carries the full map plus this node's
+	// identity and misroute count. See ClusterStats.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Dist is a compact distribution summary derived from a server-side

@@ -78,6 +78,7 @@ const (
 	TStatsReply Type = 0x86 // opaque JSON payload
 	TDrained    Type = 0x87 // Drained payload
 	TError      Type = 0x88 // ErrorMsg payload
+	TWrongNode  Type = 0x89 // WrongNode payload (cluster misroute NACK)
 )
 
 func (t Type) String() string {
@@ -110,6 +111,8 @@ func (t Type) String() string {
 		return "DRAINED"
 	case TError:
 		return "ERROR"
+	case TWrongNode:
+		return "WRONG_NODE"
 	}
 	return fmt.Sprintf("Type(0x%02x)", uint8(t))
 }

@@ -110,6 +110,20 @@ func (e *RetryError) Error() string {
 	return fmt.Sprintf("pqclient: shed by admission control (retry after %v)", e.After)
 }
 
+// WrongNodeError is a WRONG_NODE NACK from a cluster node: the insert's
+// priority is owned by another node under the server's cluster map
+// (version MapVersion). Owner is that node's address. Nothing was
+// admitted. A plain Client surfaces it as-is; the ClusterClient
+// refreshes its map and re-routes.
+type WrongNodeError struct {
+	MapVersion uint64
+	Owner      string
+}
+
+func (e *WrongNodeError) Error() string {
+	return fmt.Sprintf("pqclient: wrong node: priority owned by %q (cluster map version %d)", e.Owner, e.MapVersion)
+}
+
 // Client is a pooled, pipelining pqd client. All methods are safe for
 // concurrent use.
 type Client struct {

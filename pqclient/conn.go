@@ -368,6 +368,21 @@ func (c *conn) deliver(p pending, f wire.Frame) {
 			for _, cl := range p.calls {
 				cl.finish(f, &ServerError{Msg: em.Msg})
 			}
+		case wire.TWrongNode:
+			if len(p.calls) > 1 {
+				// A cluster node NACKs a whole INSERT_BATCH when any
+				// member's priority belongs to another node. Coalesced
+				// members may have different owners, so exactly like the
+				// TError arm: resend each solo and let the server judge
+				// them individually — the truly misrouted ones come back
+				// as individual WrongNodeErrors for their callers.
+				c.resendSolo(p.calls)
+				return
+			}
+			wn, _ := wire.DecodeWrongNode(f.Payload)
+			for _, cl := range p.calls {
+				cl.finish(f, &WrongNodeError{MapVersion: wn.MapVersion, Owner: wn.Owner})
+			}
 		default:
 			for _, cl := range p.calls {
 				cl.finish(f, &ServerError{Msg: "unexpected " + f.Type.String() + " response to insert"})
@@ -381,6 +396,9 @@ func (c *conn) deliver(p pending, f wire.Frame) {
 	case wire.TError:
 		em, _ := wire.DecodeErrorMsg(f.Payload)
 		cl.finish(f, &ServerError{Msg: em.Msg})
+	case wire.TWrongNode:
+		wn, _ := wire.DecodeWrongNode(f.Payload)
+		cl.finish(f, &WrongNodeError{MapVersion: wn.MapVersion, Owner: wn.Owner})
 	case wire.TRetryAfter:
 		ra, _ := wire.DecodeRetryAfter(f.Payload)
 		cl.finish(f, &RetryError{After: time.Duration(ra.Millis) * time.Millisecond})

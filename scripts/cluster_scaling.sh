@@ -1,0 +1,107 @@
+#!/bin/sh
+# Cluster scaling curve: boot nodes={1,2,3} clusters of capacity-bounded
+# pqd nodes and drive the same insert burst at each, measuring goodput
+# (acked inserts per second — shed attempts count zero). Aggregate
+# admission capacity grows linearly with nodes, so the burst goodput
+# must too; the script fails unless the curve is monotonically
+# increasing. Runs on a single core: the scaled resource is per-node
+# admission capacity, not CPU, so the curve is hardware-independent.
+#
+# Emits one pq-bench/v1 document per node count (aggregate + per-node
+# runs) under $OUT_DIR and prints the curve as a table for
+# EXPERIMENTS.md. Used by `make cluster-scaling`.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+OUT_DIR=${OUT_DIR:-artifacts}
+BASE_PORT=${BASE_PORT:-7971}
+CAP=${CAP:-4000}       # admission capacity per node
+WORKERS=${WORKERS:-16}
+DURATION=${DURATION:-2s}
+PRIS=48
+
+$GO build -o "$BIN/pqd" ./cmd/pqd
+$GO build -o "$BIN/pqload" ./cmd/pqload
+mkdir -p "$OUT_DIR"
+
+# write_map N FILE: even split of [0,PRIS) across N nodes.
+write_map() {
+  N=$1; FILE=$2
+  PER=$((PRIS / N))
+  printf '{\n  "version": 1,\n  "priorities": %d,\n  "nodes": [\n' "$PRIS" > "$FILE"
+  i=0
+  while [ "$i" -lt "$N" ]; do
+    LO=$((i * PER))
+    HI=$(((i + 1) * PER))
+    [ "$i" -eq $((N - 1)) ] && HI=$PRIS
+    SEP=","
+    [ "$i" -eq $((N - 1)) ] && SEP=""
+    printf '    {"addr": "127.0.0.1:%d", "ranges": [{"lo": %d, "hi": %d}]}%s\n' \
+      $((BASE_PORT + i)) "$LO" "$HI" "$SEP" >> "$FILE"
+    i=$((i + 1))
+  done
+  printf '  ]\n}\n' >> "$FILE"
+}
+
+PIDS=""
+stop_nodes() {
+  for P in $PIDS; do kill -TERM "$P" 2>/dev/null || true; done
+  for P in $PIDS; do wait "$P" 2>/dev/null || true; done
+  PIDS=""
+}
+trap 'stop_nodes' EXIT
+
+CURVE=""
+PREV=0
+for N in 1 2 3; do
+  MAP="$OUT_DIR/cluster-map-n$N.json"
+  write_map "$N" "$MAP"
+  ADDRS=""
+  i=0
+  while [ "$i" -lt "$N" ]; do
+    ADDR=127.0.0.1:$((BASE_PORT + i))
+    ADDRS="$ADDRS,$ADDR"
+    "$BIN/pqd" -addr "$ADDR" -queues "default:FunnelTree:$PRIS:2:$CAP" \
+      -cluster-map "$MAP" -cluster-self "$ADDR" -q &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+  done
+  ADDRS=${ADDRS#,}
+
+  j=0
+  until "$BIN/pqload" -cluster "$ADDRS" -queue default \
+    -duration 50ms -workers 1 -drain=false >/dev/null 2>&1; do
+    j=$((j + 1))
+    if [ "$j" -ge 50 ]; then
+      echo "cluster_scaling: $N-node cluster never came up" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+
+  OUT="$OUT_DIR/pqload-cluster-n$N.json"
+  "$BIN/pqload" -cluster "$ADDRS" -queue default \
+    -workers "$WORKERS" -conns 2 -mix 1.0 -duration "$DURATION" -json "$OUT" >/dev/null
+  BENCH_JSON="$PWD/$OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+  stop_nodes
+
+  THR=$(sed -n 's/.*"throughput_ops_per_sec": \([0-9]*\)\..*/\1/p' "$OUT" | head -1)
+  if [ -z "$THR" ]; then
+    echo "cluster_scaling: no throughput in $OUT" >&2
+    exit 1
+  fi
+  CURVE="$CURVE| $N | $((N * CAP)) | $THR |\n"
+  if [ "$THR" -le "$PREV" ]; then
+    echo "cluster_scaling: goodput did not increase at $N nodes ($THR <= $PREV ops/s)" >&2
+    exit 1
+  fi
+  PREV=$THR
+done
+trap - EXIT
+
+echo "cluster_scaling: burst goodput curve (capacity $CAP/node, $WORKERS workers, $DURATION burst):"
+echo "| nodes | aggregate capacity | goodput (acked inserts/s) |"
+echo "|-------|--------------------|---------------------------|"
+printf "$CURVE"
+echo "cluster_scaling: OK (monotonically increasing)"

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Cluster smoke: build pqd + pqload, boot a 3-node loopback cluster
+# from one shared map file, drive cluster-routed load (inserts split by
+# priority band, two-choice delete-min with put-backs), then assert
+# (a) the generator drained cleanly — pqload exits nonzero unless the
+# cluster-wide insert/delete counters agree after the drain, i.e. zero
+# lost and zero duplicated items — (b) the emitted per-node + aggregate
+# JSON validates against pq-bench/v1, and (c) every node exits cleanly
+# on SIGTERM.
+#
+# Used by `make cluster-smoke` and the CI "Cluster loopback smoke" step.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+OUT_DIR=${OUT_DIR:-artifacts}
+OUT=${PQLOAD_JSON:-$OUT_DIR/pqload-cluster.json}
+ADDR1=${PQD_ADDR1:-127.0.0.1:7951}
+ADDR2=${PQD_ADDR2:-127.0.0.1:7952}
+ADDR3=${PQD_ADDR3:-127.0.0.1:7953}
+
+$GO build -o "$BIN/pqd" ./cmd/pqd
+$GO build -o "$BIN/pqload" ./cmd/pqload
+mkdir -p "$OUT_DIR"
+
+MAP="$OUT_DIR/cluster-map.json"
+cat > "$MAP" <<EOF
+{
+  "version": 1,
+  "priorities": 48,
+  "nodes": [
+    {"addr": "$ADDR1", "ranges": [{"lo": 0,  "hi": 16}]},
+    {"addr": "$ADDR2", "ranges": [{"lo": 16, "hi": 32}]},
+    {"addr": "$ADDR3", "ranges": [{"lo": 32, "hi": 48}]}
+  ]
+}
+EOF
+
+PIDS=""
+for ADDR in "$ADDR1" "$ADDR2" "$ADDR3"; do
+  "$BIN/pqd" -addr "$ADDR" \
+    -queues "default:FunnelTree:48:2:0" \
+    -cluster-map "$MAP" -cluster-self "$ADDR" &
+  PIDS="$PIDS $!"
+done
+trap 'for P in $PIDS; do kill "$P" 2>/dev/null || true; done' EXIT
+
+# Wait for all three listeners.
+i=0
+until "$BIN/pqload" -cluster "$ADDR1,$ADDR2,$ADDR3" -queue default \
+  -duration 50ms -workers 1 -drain=false >/dev/null 2>&1; do
+  i=$((i+1))
+  if [ "$i" -ge 50 ]; then
+    echo "cluster_smoke: cluster never came up on $ADDR1,$ADDR2,$ADDR3" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Main run: cluster-routed workers; pqload itself asserts the clean
+# drain (cluster-wide inserts == deletes, size 0 — nothing lost or
+# duplicated) and validates the JSON it writes.
+"$BIN/pqload" -cluster "$ADDR1,$ADDR2,$ADDR3" -queue default \
+  -workers 8 -conns 2 -duration 2s -json "$OUT"
+
+# Schema check: the merged per-node + aggregate document must be valid
+# pq-bench/v1. `go test` runs with the package directory as cwd, so
+# the path must be absolute.
+BENCH_JSON="$PWD/$OUT" $GO test ./internal/harness -run TestBenchJSONFile -count=1 >/dev/null
+
+# The document must carry the aggregate run and one run per node.
+for NEEDLE in "pqd/cluster/" "@$ADDR1" "@$ADDR2" "@$ADDR3"; do
+  if ! grep -q "$NEEDLE" "$OUT"; then
+    echo "cluster_smoke: $OUT missing run $NEEDLE" >&2
+    exit 1
+  fi
+done
+
+# Graceful drain: SIGTERM must terminate every node cleanly.
+for P in $PIDS; do kill -TERM "$P"; done
+for P in $PIDS; do wait "$P"; done
+trap - EXIT
+echo "cluster_smoke: OK ($OUT)"
